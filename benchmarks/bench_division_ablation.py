@@ -1,0 +1,73 @@
+"""Ablation benchmark: contribution of each graph-division technique.
+
+Section 4 of the paper lists four division techniques (independent
+components, low-degree vertex removal, biconnected components, GH-tree based
+(K-1)-cut removal).  This benchmark colors the same circuit with the full
+pipeline, with everything disabled, and with each technique removed in turn,
+recording runtime, quality and the size of the largest piece handed to the
+color assigner — the quantity the division stage exists to shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.decomposer import make_colorer
+from repro.core.division import DivisionReport, divide_and_color
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.options import DivisionOptions
+
+CIRCUIT = "C6288"
+
+VARIANTS = {
+    "all-on": DivisionOptions(),
+    "all-off": DivisionOptions().all_disabled(),
+    "no-low-degree": DivisionOptions(low_degree_removal=False),
+    "no-biconnected": DivisionOptions(biconnected_components=False),
+    "no-ghtree": DivisionOptions(ghtree_cut_removal=False),
+    "no-independent": DivisionOptions(independent_components=False),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_division_ablation_linear(benchmark, graph_for, variant):
+    """Effect of each division technique under the linear color assignment."""
+    benchmark.group = "division-ablation:linear"
+    graph = graph_for(CIRCUIT, 4).graph
+    division = VARIANTS[variant]
+    report = DivisionReport()
+
+    def job():
+        report.__init__()
+        return divide_and_color(
+            graph, make_colorer("linear", 4), division=division, report=report
+        )
+
+    coloring = benchmark.pedantic(job, rounds=1, iterations=1)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["stitches"] = count_stitches(graph, coloring)
+    benchmark.extra_info["largest_piece"] = report.largest_colored_piece
+    benchmark.extra_info["pieces"] = report.colored_pieces
+
+
+@pytest.mark.parametrize("variant", ["all-on", "no-ghtree", "no-low-degree"])
+def test_division_ablation_sdp(benchmark, graph_for, variant):
+    """Division matters most for the expensive SDP-based assignment."""
+    benchmark.group = "division-ablation:sdp"
+    graph = graph_for("C1908", 4).graph
+    division = VARIANTS[variant]
+    report = DivisionReport()
+
+    def job():
+        report.__init__()
+        return divide_and_color(
+            graph, make_colorer("sdp-backtrack", 4), division=division, report=report
+        )
+
+    coloring = benchmark.pedantic(job, rounds=1, iterations=1)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["largest_piece"] = report.largest_colored_piece

@@ -1,0 +1,104 @@
+"""Benchmarks for the paper's illustrative figures (Figs. 1, 4, 5, 6, 7).
+
+These are small but they regenerate the figure-level claims:
+
+* Fig. 1 — the contact-cell 4-clique is a native conflict for triple
+  patterning and decomposes cleanly for quadruple patterning,
+* Fig. 4 — the linear color assignment escapes the greedy ordering trap,
+* Fig. 5 — color rotation reconnects a removed 3-cut with zero conflicts,
+* Fig. 6 — GH-tree division plus rotation preserves the optimal conflict count,
+* Fig. 7 — conflict-edge growth of a regular wire array as min_s increases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cells import (
+    figure4_graph,
+    figure5_graph,
+    figure6_graph,
+    four_clique_contact_cell,
+    regular_wire_array,
+)
+from repro.core.backtrack import BacktrackColoring
+from repro.core.decomposer import Decomposer
+from repro.core.evaluation import count_conflicts
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import DecomposerOptions
+from repro.core.rotation import merge_component_colorings
+from repro.graph.construction import ConstructionOptions, build_decomposition_graph
+from repro.graph.gomory_hu import gomory_hu_tree
+
+
+@pytest.mark.parametrize("num_colors,expected_conflicts", [(3, 1), (4, 0)])
+def test_figure1_contact_cell(benchmark, num_colors, expected_conflicts):
+    """Fig. 1: TPL cannot decompose the contact 4-clique, QPL can."""
+    benchmark.group = "figure1"
+    layout = four_clique_contact_cell()
+    options = DecomposerOptions.for_k_patterning(num_colors, "backtrack")
+    options.construction.min_coloring_distance = 80
+
+    result = benchmark.pedantic(
+        lambda: Decomposer(options).decompose(layout, layer="contact"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["conflicts"] = result.solution.conflicts
+    benchmark.extra_info["num_colors"] = num_colors
+    assert result.solution.conflicts == expected_conflicts
+
+
+def test_figure4_linear_assignment(benchmark):
+    """Fig. 4: the ordering-aware linear assignment finds the clean coloring."""
+    benchmark.group = "figure4"
+    graph = figure4_graph()
+    coloring = benchmark(lambda: LinearColoring(4).color(graph))
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    assert count_conflicts(graph, coloring) == 0
+
+
+def test_figure5_rotation(benchmark):
+    """Fig. 5: rotation reconnects a 3-cut without new conflicts."""
+    benchmark.group = "figure5"
+    graph = figure5_graph()
+    left = BacktrackColoring(4).color(graph.subgraph([0, 1, 2]))
+    right = BacktrackColoring(4).color(graph.subgraph([3, 4, 5]))
+
+    merged = benchmark(
+        lambda: merge_component_colorings(graph, [left, right], 4, 0.1)
+    )
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, merged)
+    assert count_conflicts(graph, merged) == 0
+
+
+def test_figure6_ghtree_division(benchmark):
+    """Fig. 6: GH-tree 3-cut removal preserves the optimal conflict count."""
+    benchmark.group = "figure6"
+    graph = figure6_graph()
+    optimum = count_conflicts(graph, BacktrackColoring(4).color(graph))
+
+    def job():
+        tree = gomory_hu_tree(graph.vertices(), graph.conflict_edges())
+        parts = tree.components_below(4)
+        colorings = [
+            BacktrackColoring(4).color(graph.subgraph(part)) for part in parts
+        ]
+        return merge_component_colorings(graph, colorings, 4, 0.1)
+
+    merged = benchmark(job)
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, merged)
+    benchmark.extra_info["optimum"] = optimum
+    assert count_conflicts(graph, merged) == optimum
+
+
+@pytest.mark.parametrize("min_s", [40, 61, 80, 101])
+def test_figure7_min_s_sweep(benchmark, min_s):
+    """Fig. 7: conflict-edge count of a minimum-pitch wire array vs min_s."""
+    benchmark.group = "figure7"
+    layout = regular_wire_array(num_wires=12)
+    options = ConstructionOptions(min_coloring_distance=min_s, enable_stitches=False)
+
+    result = benchmark(lambda: build_decomposition_graph(layout, options=options))
+    benchmark.extra_info["min_s"] = min_s
+    benchmark.extra_info["conflict_edges"] = result.graph.num_conflict_edges

@@ -1,0 +1,66 @@
+"""Ablation benchmark: the linear color assignment's design choices.
+
+Algorithm 2 owes its quality to three ingredients on top of plain greedy
+coloring: color-friendly rules (Definition 2), peer selection over three
+vertex orders, and greedy post-refinement.  This benchmark switches each off
+on the densest circuit and records the conflict/stitch cost, quantifying the
+Fig. 4 discussion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.division import divide_and_color
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.greedy_coloring import GreedyColoring
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import AlgorithmOptions
+
+CIRCUIT = "C6288"
+
+
+def _options(**flags) -> AlgorithmOptions:
+    options = AlgorithmOptions()
+    for key, value in flags.items():
+        setattr(options, key, value)
+    return options
+
+
+VARIANTS = {
+    "full": _options(),
+    "no-color-friendly": _options(use_color_friendly=False),
+    "no-peer-selection": _options(use_peer_selection=False),
+    "no-post-refinement": _options(use_post_refinement=False),
+    "bare": _options(
+        use_color_friendly=False, use_peer_selection=False, use_post_refinement=False
+    ),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_linear_coloring_ablation(benchmark, graph_for, variant):
+    benchmark.group = "ordering-ablation"
+    graph = graph_for(CIRCUIT, 4).graph
+    options = VARIANTS[variant]
+
+    def job():
+        return divide_and_color(graph, LinearColoring(4, options))
+
+    coloring = benchmark.pedantic(job, rounds=1, iterations=1)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["stitches"] = count_stitches(graph, coloring)
+
+
+def test_plain_greedy_reference(benchmark, graph_for):
+    """Plain greedy coloring as the lower bound of the ablation."""
+    benchmark.group = "ordering-ablation"
+    graph = graph_for(CIRCUIT, 4).graph
+
+    coloring = benchmark.pedantic(
+        lambda: divide_and_color(graph, GreedyColoring(4)), rounds=1, iterations=1
+    )
+    benchmark.extra_info["variant"] = "plain-greedy"
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["stitches"] = count_stitches(graph, coloring)

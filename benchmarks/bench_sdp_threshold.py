@@ -1,0 +1,35 @@
+"""Ablation benchmark: the SDP merge threshold t_th of Algorithm 1.
+
+The paper fixes ``t_th = 0.9``: vertex pairs whose relaxed inner product
+exceeds the threshold are merged before the exact backtracking.  Lower
+thresholds merge more aggressively (faster, riskier), higher thresholds leave
+more work to the search.  This sweep records both runtime and quality so the
+choice can be reproduced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.division import divide_and_color
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.options import AlgorithmOptions
+from repro.core.sdp_coloring import SdpColoring
+
+CIRCUIT = "C1908"
+THRESHOLDS = [0.7, 0.8, 0.9, 0.95, 0.99]
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_sdp_merge_threshold_sweep(benchmark, graph_for, threshold):
+    benchmark.group = "sdp-threshold"
+    graph = graph_for(CIRCUIT, 4).graph
+    options = AlgorithmOptions(sdp_merge_threshold=threshold)
+
+    def job():
+        return divide_and_color(graph, SdpColoring(4, options, mapping="backtrack"))
+
+    coloring = benchmark.pedantic(job, rounds=1, iterations=1)
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["stitches"] = count_stitches(graph, coloring)

@@ -1,0 +1,68 @@
+"""Benchmark regenerating Table 1: quadruple patterning comparison.
+
+The paper's Table 1 reports, for every circuit and every algorithm (ILP,
+SDP+Backtrack, SDP+Greedy, Linear), the conflict number, the stitch number
+and the color-assignment CPU time.  Each benchmark below measures the color
+assignment of one (circuit, algorithm) cell and stores the quality metrics in
+``extra_info``; the companion command
+
+    python -m repro.experiments table1
+
+prints the full table in the paper's layout.
+
+To keep the pytest-benchmark run tractable the circuit list is split: the
+cheap algorithms run on a representative sample of the full suite, the ILP
+baseline only on the smallest circuits (the paper itself caps ILP at one hour
+and reports N/A beyond).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposer import make_colorer
+from repro.core.division import divide_and_color
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.options import AlgorithmOptions
+
+#: Representative circuits covering small, dense and large instances.
+FAST_CIRCUITS = ["C432", "C499", "C1908", "C3540", "C6288", "C7552", "S1488", "S38417"]
+#: ILP is exact but slow: bench it only where the paper also finished.
+ILP_CIRCUITS = ["C432", "C499", "C880"]
+
+FAST_ALGORITHMS = ["sdp-backtrack", "sdp-greedy", "linear"]
+
+
+def _run(benchmark, graph, algorithm, num_colors, ilp_time_limit=None):
+    options = AlgorithmOptions()
+    if ilp_time_limit is not None:
+        options.ilp_time_limit = ilp_time_limit
+
+    def job():
+        colorer = make_colorer(algorithm, num_colors, options)
+        return divide_and_color(graph, colorer)
+
+    coloring = benchmark.pedantic(job, rounds=1, iterations=1)
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["stitches"] = count_stitches(graph, coloring)
+    benchmark.extra_info["vertices"] = graph.num_vertices
+    benchmark.extra_info["conflict_edges"] = graph.num_conflict_edges
+    benchmark.extra_info["algorithm"] = algorithm
+    return coloring
+
+
+@pytest.mark.parametrize("circuit", FAST_CIRCUITS)
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+def test_table1_color_assignment(benchmark, graph_for, circuit, algorithm):
+    """Table 1 cells for the SDP and linear algorithms."""
+    construction = graph_for(circuit, 4)
+    benchmark.group = f"table1:{circuit}"
+    _run(benchmark, construction.graph, algorithm, 4)
+
+
+@pytest.mark.parametrize("circuit", ILP_CIRCUITS)
+def test_table1_ilp_baseline(benchmark, graph_for, circuit):
+    """Table 1 ILP column on the circuits where exact ILP is tractable."""
+    construction = graph_for(circuit, 4)
+    benchmark.group = f"table1:{circuit}"
+    _run(benchmark, construction.graph, "ilp", 4, ilp_time_limit=20.0)

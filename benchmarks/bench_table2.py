@@ -1,0 +1,35 @@
+"""Benchmark regenerating Table 2: pentuple patterning comparison.
+
+Table 2 evaluates the six densest circuits with K = 5 masks and
+``min_s = 110 nm`` for SDP+Backtrack, SDP+Greedy and the linear color
+assignment (no exact ILP exists for pentuple patterning in the paper).
+``python -m repro.experiments table2`` prints the full table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.circuits import TABLE2_CIRCUITS
+from repro.core.decomposer import make_colorer
+from repro.core.division import divide_and_color
+from repro.core.evaluation import count_conflicts, count_stitches
+
+ALGORITHMS = ["sdp-backtrack", "sdp-greedy", "linear"]
+
+
+@pytest.mark.parametrize("circuit", TABLE2_CIRCUITS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table2_pentuple_patterning(benchmark, graph_for, circuit, algorithm):
+    construction = graph_for(circuit, 5)
+    graph = construction.graph
+    benchmark.group = f"table2:{circuit}"
+
+    def job():
+        return divide_and_color(graph, make_colorer(algorithm, 5))
+
+    coloring = benchmark.pedantic(job, rounds=1, iterations=1)
+    benchmark.extra_info["conflicts"] = count_conflicts(graph, coloring)
+    benchmark.extra_info["stitches"] = count_stitches(graph, coloring)
+    benchmark.extra_info["vertices"] = graph.num_vertices
+    benchmark.extra_info["algorithm"] = algorithm

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fig. 1 scenario: why quadruple patterning — standard-cell contact cliques.
+
+The paper motivates QPL with the contact pattern of Fig. 1: inside standard
+cells, contact layouts form 4-cliques in the decomposition graph that triple
+patterning cannot color without a conflict, while a fourth mask resolves them
+"for free".  This example reproduces that comparison on the single cell and on
+a full row of cells, using the exact backtracking colorer so the conflict
+counts are optimal for both mask counts.
+
+Run with:  python examples/standard_cell_contacts.py
+"""
+
+from __future__ import annotations
+
+from repro import Decomposer, DecomposerOptions, Layout
+from repro.bench import dense_contact_array, four_clique_contact_cell
+
+
+def decompose(layout: Layout, layer: str, num_colors: int):
+    """Decompose with K masks under the QP conflict rule (min_s = 80 nm)."""
+    options = DecomposerOptions.for_k_patterning(num_colors, algorithm="backtrack")
+    options.construction.min_coloring_distance = 80
+    return Decomposer(options).decompose(layout, layer=layer)
+
+
+def cell_row(num_cells: int) -> Layout:
+    """A row of Fig. 1 contact cells at a realistic cell pitch."""
+    layout = Layout(name="contact-cell-row")
+    for index in range(num_cells):
+        cell = four_clique_contact_cell(origin=(index * 200, 0))
+        for shape in cell:
+            layout.add_polygon(shape.polygon, layer="contact")
+    return layout
+
+
+def report(title: str, layout: Layout, layer: str) -> None:
+    print(f"\n== {title} ({len(layout)} contacts) ==")
+    for num_colors in (3, 4, 5):
+        result = decompose(layout, layer, num_colors)
+        label = {3: "triple ", 4: "quadruple", 5: "pentuple "}[num_colors]
+        print(
+            f"  {label} patterning: conflicts={result.solution.conflicts:3d}  "
+            f"stitches={result.solution.stitches:3d}  "
+            f"masks used={len(set(result.solution.coloring.values()))}"
+        )
+
+
+def main() -> None:
+    report("single standard-cell contact cluster (Fig. 1)",
+           four_clique_contact_cell(), "contact")
+    report("row of 8 contact cells", cell_row(8), "contact")
+    report("dense 6x10 contact array (worst case)",
+           dense_contact_array(6, 10), "metal1")
+    print(
+        "\nTriple patterning keeps at least one native conflict per 4-clique;"
+        "\nquadruple patterning removes them all, matching the Fig. 1 claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools predates PEP 660 wheel-less editable builds
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

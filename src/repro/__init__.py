@@ -1,0 +1,111 @@
+"""repro — layout decomposition for quadruple patterning lithography and beyond.
+
+A full reimplementation of the DAC 2014 decomposition framework of Yu & Pan:
+decomposition-graph construction from Metal1/contact layouts, graph division
+(independent components, low-degree peeling, biconnected blocks, Gomory-Hu
+tree (K-1)-cut removal with color rotation) and four color-assignment
+algorithms (exact ILP, SDP + backtrack, SDP + greedy, linear color
+assignment), generalised to any K >= 4.
+
+Quick start::
+
+    from repro import Decomposer, DecomposerOptions
+    from repro.bench import load_circuit
+
+    layout = load_circuit("C432", scale=0.35)
+    options = DecomposerOptions.for_quadruple_patterning(algorithm="linear")
+    result = Decomposer(options).decompose(layout, layer="metal1")
+    print(result.solution.summary())
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    DecompositionError,
+    GeometryError,
+    GraphError,
+    InfeasibleError,
+    LayoutError,
+    LayoutIOError,
+    ReproError,
+    SolverError,
+    TimeoutExceededError,
+)
+from repro.geometry import Layout, Point, Polygon, Rect, Shape
+from repro.graph import (
+    ConstructionOptions,
+    DecompositionGraph,
+    build_decomposition_graph,
+)
+from repro.core import (
+    AlgorithmOptions,
+    BacktrackColoring,
+    Decomposer,
+    DecomposerOptions,
+    DecompositionResult,
+    DecompositionSolution,
+    DivisionOptions,
+    GreedyColoring,
+    IlpColoring,
+    LinearColoring,
+    SdpColoring,
+    decompose_layout,
+    divide_and_color,
+    make_colorer,
+)
+from repro.analysis import (
+    conflict_report,
+    decomposition_to_svg,
+    graph_statistics,
+    layout_to_svg,
+    mask_balance,
+    summary_text,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "GeometryError",
+    "LayoutError",
+    "LayoutIOError",
+    "GraphError",
+    "SolverError",
+    "InfeasibleError",
+    "TimeoutExceededError",
+    "DecompositionError",
+    "ConfigurationError",
+    # geometry
+    "Point",
+    "Rect",
+    "Polygon",
+    "Layout",
+    "Shape",
+    # graph
+    "DecompositionGraph",
+    "ConstructionOptions",
+    "build_decomposition_graph",
+    # core
+    "AlgorithmOptions",
+    "DecomposerOptions",
+    "DivisionOptions",
+    "Decomposer",
+    "DecompositionResult",
+    "DecompositionSolution",
+    "decompose_layout",
+    "divide_and_color",
+    "make_colorer",
+    "IlpColoring",
+    "SdpColoring",
+    "LinearColoring",
+    "BacktrackColoring",
+    "GreedyColoring",
+    # analysis
+    "mask_balance",
+    "conflict_report",
+    "graph_statistics",
+    "summary_text",
+    "layout_to_svg",
+    "decomposition_to_svg",
+]

@@ -1,0 +1,24 @@
+"""Post-decomposition analysis: balance metrics, conflict reports, SVG output."""
+
+from repro.analysis.metrics import (
+    ConflictReport,
+    GraphStatistics,
+    MaskBalance,
+    conflict_report,
+    graph_statistics,
+    mask_balance,
+    summary_text,
+)
+from repro.analysis.svg import decomposition_to_svg, layout_to_svg
+
+__all__ = [
+    "MaskBalance",
+    "mask_balance",
+    "ConflictReport",
+    "conflict_report",
+    "GraphStatistics",
+    "graph_statistics",
+    "summary_text",
+    "layout_to_svg",
+    "decomposition_to_svg",
+]

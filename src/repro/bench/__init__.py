@@ -1,0 +1,43 @@
+"""Benchmark workloads: figure cells, synthetic layouts and named circuits."""
+
+from repro.bench.cells import (
+    figure4_graph,
+    figure5_graph,
+    figure6_graph,
+    four_clique_contact_cell,
+    regular_wire_array,
+    staircase_wire_pair,
+)
+from repro.bench.synthetic import (
+    SyntheticSpec,
+    dense_contact_array,
+    generate_layout,
+    random_rectangles,
+)
+from repro.bench.circuits import (
+    CIRCUIT_PROFILES,
+    TABLE1_CIRCUITS,
+    TABLE2_CIRCUITS,
+    circuit_names,
+    circuit_spec,
+    load_circuit,
+)
+
+__all__ = [
+    "figure4_graph",
+    "figure5_graph",
+    "figure6_graph",
+    "four_clique_contact_cell",
+    "regular_wire_array",
+    "staircase_wire_pair",
+    "SyntheticSpec",
+    "generate_layout",
+    "dense_contact_array",
+    "random_rectangles",
+    "CIRCUIT_PROFILES",
+    "TABLE1_CIRCUITS",
+    "TABLE2_CIRCUITS",
+    "circuit_names",
+    "circuit_spec",
+    "load_circuit",
+]

@@ -1,0 +1,141 @@
+"""Command line interface.
+
+Three subcommands::
+
+    repro-decompose decompose INPUT [--algorithm linear --colors 4 --output masks.gds]
+    repro-decompose stats INPUT
+    repro-decompose generate CIRCUIT [--scale 0.35 --output circuit.json]
+
+``INPUT`` may be a GDSII file (``.gds``/``.gdsii``) or a JSON layout produced
+by this library.  The decompose command writes the masks as a GDSII or JSON
+file whose layers are named ``mask0`` .. ``mask(K-1)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.circuits import load_circuit
+from repro.core.decomposer import Decomposer
+from repro.core.options import DecomposerOptions
+from repro.errors import ReproError
+from repro.geometry.layout import Layout
+from repro.io.gds import read_gds, write_gds
+from repro.io.jsonio import read_json, write_json
+
+
+def _load_layout(path: str) -> Layout:
+    suffix = Path(path).suffix.lower()
+    if suffix in (".gds", ".gdsii", ".gds2"):
+        return read_gds(path)
+    return read_json(path)
+
+
+def _save_layout(layout: Layout, path: str) -> None:
+    suffix = Path(path).suffix.lower()
+    if suffix in (".gds", ".gdsii", ".gds2"):
+        write_gds(layout, path)
+    else:
+        write_json(layout, path)
+
+
+def _options_for(colors: int, algorithm: str) -> DecomposerOptions:
+    if colors == 4:
+        return DecomposerOptions.for_quadruple_patterning(algorithm)
+    if colors == 5:
+        return DecomposerOptions.for_pentuple_patterning(algorithm)
+    return DecomposerOptions.for_k_patterning(colors, algorithm)
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.analysis import decomposition_to_svg, summary_text
+
+    layout = _load_layout(args.input)
+    layer = args.layer or (layout.layers()[0] if layout.layers() else "metal1")
+    options = _options_for(args.colors, args.algorithm)
+    if args.min_spacing is not None:
+        options.construction.min_coloring_distance = args.min_spacing
+    result = Decomposer(options).decompose(layout, layer=layer)
+    print(summary_text(result))
+    if args.output:
+        _save_layout(result.to_mask_layout(), args.output)
+        print(f"masks written to {args.output}")
+    if args.svg:
+        decomposition_to_svg(result, args.svg)
+        print(f"SVG rendering written to {args.svg}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.input)
+    print(f"layout {layout.name!r}: {len(layout)} shapes on layers {layout.layers()}")
+    for layer in layout.layers():
+        stats = layout.statistics(layer)
+        print(
+            f"  {layer}: {stats['shapes']} shapes, density {stats['density']:.3f}, "
+            f"bbox {stats['bbox_width']}x{stats['bbox_height']} nm"
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    layout = load_circuit(args.circuit, scale=args.scale)
+    output = args.output or f"{args.circuit.lower()}.json"
+    _save_layout(layout, output)
+    print(f"generated {len(layout)} shapes for {args.circuit} -> {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-decompose",
+        description="Quadruple (and general K) patterning layout decomposition.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    decompose = subparsers.add_parser("decompose", help="decompose a layout into masks")
+    decompose.add_argument("input", help="input layout (.gds or .json)")
+    decompose.add_argument("--layer", default=None, help="layer to decompose")
+    decompose.add_argument("--colors", type=int, default=4, help="number of masks K")
+    decompose.add_argument(
+        "--algorithm",
+        default="sdp-backtrack",
+        choices=list(DecomposerOptions.KNOWN_ALGORITHMS),
+        help="color assignment algorithm",
+    )
+    decompose.add_argument(
+        "--min-spacing", type=int, default=None, help="override min coloring distance (nm)"
+    )
+    decompose.add_argument("--output", default=None, help="write masks to this file")
+    decompose.add_argument(
+        "--svg", default=None, help="write an SVG rendering of the masks to this file"
+    )
+    decompose.set_defaults(func=_cmd_decompose)
+
+    stats = subparsers.add_parser("stats", help="print layout statistics")
+    stats.add_argument("input", help="input layout (.gds or .json)")
+    stats.set_defaults(func=_cmd_stats)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic benchmark circuit")
+    generate.add_argument("circuit", help="circuit name, e.g. C432 or S38417")
+    generate.add_argument("--scale", type=float, default=0.35, help="size scale factor")
+    generate.add_argument("--output", default=None, help="output file (.gds or .json)")
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

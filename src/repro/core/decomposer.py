@@ -1,0 +1,169 @@
+"""Top-level layout decomposition flow (Fig. 2).
+
+:class:`Decomposer` glues the stages together: decomposition-graph
+construction, graph division, color assignment and mask generation.  It is the
+main entry point of the library::
+
+    from repro import Decomposer, DecomposerOptions
+
+    options = DecomposerOptions.for_quadruple_patterning(algorithm="linear")
+    result = Decomposer(options).decompose(layout, layer="metal1")
+    print(result.solution.summary())
+    masks = result.to_mask_layout()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.backtrack import BacktrackColoring
+from repro.core.coloring import ColoringAlgorithm
+from repro.core.division import DivisionReport, divide_and_color
+from repro.core.evaluation import (
+    DecompositionSolution,
+    check_complete,
+    count_conflicts,
+    count_stitches,
+)
+from repro.core.greedy_coloring import GreedyColoring
+from repro.core.ilp_coloring import IlpColoring
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import AlgorithmOptions, DecomposerOptions
+from repro.core.sdp_coloring import SdpColoring
+from repro.errors import ConfigurationError
+from repro.geometry.layout import Layout
+from repro.graph.construction import ConstructionResult, build_decomposition_graph
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+def make_colorer(
+    algorithm: str,
+    num_colors: int,
+    options: Optional[AlgorithmOptions] = None,
+) -> ColoringAlgorithm:
+    """Instantiate a color-assignment algorithm by name.
+
+    Known names: ``ilp``, ``sdp-backtrack``, ``sdp-greedy``, ``linear``,
+    ``backtrack``, ``greedy``.
+    """
+    options = options or AlgorithmOptions()
+    if algorithm == "ilp":
+        return IlpColoring(num_colors, options)
+    if algorithm == "sdp-backtrack":
+        return SdpColoring(num_colors, options, mapping="backtrack")
+    if algorithm == "sdp-greedy":
+        return SdpColoring(num_colors, options, mapping="greedy")
+    if algorithm == "linear":
+        return LinearColoring(num_colors, options)
+    if algorithm == "backtrack":
+        return BacktrackColoring(num_colors, options)
+    if algorithm == "greedy":
+        return GreedyColoring(num_colors, options)
+    raise ConfigurationError(f"unknown color assignment algorithm {algorithm!r}")
+
+
+@dataclass
+class DecompositionResult:
+    """Everything produced by one :meth:`Decomposer.decompose` call."""
+
+    solution: DecompositionSolution
+    construction: ConstructionResult
+    division_report: DivisionReport
+    options: DecomposerOptions
+
+    def mask_of_vertex(self, vertex: int) -> int:
+        """Return the mask index assigned to a decomposition-graph vertex."""
+        return self.solution.mask_of(vertex)
+
+    def to_mask_layout(self, prefix: str = "mask") -> Layout:
+        """Return a layout whose layers ``mask0..mask(K-1)`` hold the fragments."""
+        output = Layout(name=f"{self.construction.layer}-masks")
+        for vertex, rects in sorted(self.construction.fragments.items()):
+            color = self.solution.coloring[vertex]
+            for rect in rects:
+                output.add_rect(rect, layer=f"{prefix}{color}")
+        return output
+
+    def mask_counts(self) -> Dict[int, int]:
+        """Return the number of fragments assigned to each mask (balance check)."""
+        counts = {color: 0 for color in range(self.solution.num_colors)}
+        for color in self.solution.coloring.values():
+            counts[color] += 1
+        return counts
+
+
+class Decomposer:
+    """End-to-end K-patterning layout decomposer."""
+
+    def __init__(self, options: Optional[DecomposerOptions] = None) -> None:
+        self.options = options or DecomposerOptions()
+        self.options.validate()
+
+    # ------------------------------------------------------------------ API
+    def decompose(self, layout: Layout, layer: str = "metal1") -> DecompositionResult:
+        """Decompose one layer of ``layout`` into K masks."""
+        start_total = time.perf_counter()
+        construction = build_decomposition_graph(
+            layout, layer=layer, options=self.options.construction
+        )
+        solution, report = self._solve(construction.graph)
+        solution.total_seconds = time.perf_counter() - start_total
+        return DecompositionResult(
+            solution=solution,
+            construction=construction,
+            division_report=report,
+            options=self.options,
+        )
+
+    def decompose_graph(self, graph: DecompositionGraph) -> DecompositionSolution:
+        """Color an already-constructed decomposition graph."""
+        solution, _ = self._solve(graph)
+        solution.total_seconds = solution.color_assignment_seconds
+        return solution
+
+    # ------------------------------------------------------------ internals
+    def _solve(self, graph: DecompositionGraph):
+        colorer = make_colorer(
+            self.options.algorithm,
+            self.options.num_colors,
+            self.options.algorithm_options,
+        )
+        report = DivisionReport()
+        start = time.perf_counter()
+        coloring = divide_and_color(
+            graph, colorer, division=self.options.division, report=report
+        )
+        elapsed = time.perf_counter() - start
+        check_complete(graph, coloring, self.options.num_colors)
+        solution = DecompositionSolution(
+            coloring=coloring,
+            num_colors=self.options.num_colors,
+            conflicts=count_conflicts(graph, coloring),
+            stitches=count_stitches(graph, coloring),
+            algorithm=colorer.name,
+            color_assignment_seconds=elapsed,
+            graph=graph,
+            alpha=self.options.algorithm_options.alpha,
+        )
+        return solution, report
+
+
+def decompose_layout(
+    layout: Layout,
+    layer: str = "metal1",
+    num_colors: int = 4,
+    algorithm: str = "sdp-backtrack",
+) -> DecompositionResult:
+    """One-call convenience wrapper around :class:`Decomposer`.
+
+    Uses the paper's technology parameters for the requested mask count.
+    """
+    if num_colors == 4:
+        options = DecomposerOptions.for_quadruple_patterning(algorithm)
+    elif num_colors == 5:
+        options = DecomposerOptions.for_pentuple_patterning(algorithm)
+    else:
+        options = DecomposerOptions.for_k_patterning(num_colors, algorithm)
+    return Decomposer(options).decompose(layout, layer=layer)

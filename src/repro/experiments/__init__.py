@@ -1,0 +1,29 @@
+"""Experiment harnesses for the paper's tables and ablations."""
+
+from repro.experiments.runner import (
+    TABLE1_ALGORITHMS,
+    TABLE2_ALGORITHMS,
+    ExperimentRow,
+    ExperimentTable,
+    build_graph_for_circuit,
+    format_row,
+    format_table,
+    run_algorithm,
+    run_table,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "TABLE1_ALGORITHMS",
+    "TABLE2_ALGORITHMS",
+    "ExperimentRow",
+    "ExperimentTable",
+    "build_graph_for_circuit",
+    "run_algorithm",
+    "run_table",
+    "run_table1",
+    "run_table2",
+    "format_row",
+    "format_table",
+]

@@ -1,0 +1,55 @@
+"""Command line entry point: ``python -m repro.experiments table1|table2``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import format_table, run_table1, run_table2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables on synthetic circuits.",
+    )
+    parser.add_argument("table", choices=["table1", "table2"], help="which table to run")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.35,
+        help="circuit size scale factor (1.0 = full synthetic size)",
+    )
+    parser.add_argument(
+        "--circuits",
+        nargs="*",
+        default=None,
+        help="restrict to these circuits (default: the paper's list)",
+    )
+    parser.add_argument(
+        "--ilp-time-limit",
+        type=float,
+        default=30.0,
+        help="per-component ILP budget in seconds (table1 only)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress per-row progress")
+    args = parser.parse_args(argv)
+
+    if args.table == "table1":
+        table = run_table1(
+            circuits=args.circuits,
+            scale=args.scale,
+            ilp_time_limit=args.ilp_time_limit,
+            verbose=not args.quiet,
+        )
+    else:
+        table = run_table2(
+            circuits=args.circuits, scale=args.scale, verbose=not args.quiet
+        )
+    print()
+    print(format_table(table))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

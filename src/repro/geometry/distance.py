@@ -1,0 +1,71 @@
+"""Spacing predicates between layout features.
+
+The decomposition-graph construction asks two questions for every nearby pair
+of features:
+
+* is the spacing strictly smaller than the minimum coloring distance
+  ``min_s`` (conflict edge)?
+* is the spacing inside ``(min_s, min_s + half_pitch)`` (color-friendly pair,
+  Definition 2 of the paper)?
+
+Both predicates are answered exactly with integer arithmetic by comparing
+squared distances, avoiding any floating-point threshold effects right at the
+design rule boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+def rects_squared_distance(first: Sequence[Rect], second: Sequence[Rect]) -> int:
+    """Return the squared spacing between two rectangle sets (0 if touching)."""
+    best: int | None = None
+    for a in first:
+        for b in second:
+            d = a.squared_distance(b)
+            if best is None or d < best:
+                best = d
+                if best == 0:
+                    return 0
+    if best is None:
+        raise ValueError("distance between empty rectangle sets")
+    return best
+
+
+def within_distance(first: Polygon, second: Polygon, limit: int) -> bool:
+    """Return True if the polygons are strictly closer than ``limit``.
+
+    Touching or overlapping polygons (distance 0) count as within distance.
+    """
+    return first.squared_distance(second) < limit * limit
+
+
+def within_distance_rects(
+    first: Sequence[Rect], second: Sequence[Rect], limit: int
+) -> bool:
+    """Rectangle-set variant of :func:`within_distance`."""
+    return rects_squared_distance(first, second) < limit * limit
+
+
+def in_distance_band(
+    first: Polygon, second: Polygon, lower: int, upper: int
+) -> bool:
+    """Return True if the spacing lies in the half-open band ``[lower, upper)``.
+
+    Used for the color-friendly rule: ``lower = min_s`` and
+    ``upper = min_s + half_pitch``.
+    """
+    d2 = first.squared_distance(second)
+    return lower * lower <= d2 < upper * upper
+
+
+def in_distance_band_rects(
+    first: Sequence[Rect], second: Sequence[Rect], lower: int, upper: int
+) -> bool:
+    """Rectangle-set variant of :func:`in_distance_band`."""
+    d2 = rects_squared_distance(first, second)
+    return lower * lower <= d2 < upper * upper

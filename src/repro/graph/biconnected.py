@@ -1,0 +1,149 @@
+"""Articulation points, bridges and 2-vertex-connected components.
+
+The 2-vertex-connected (biconnected) component split is the third graph
+division technique of Section 4: a cut vertex can be colored once and the
+attached blocks colored independently, then merged by rotating whole blocks so
+the shared vertex keeps a single color.  Bridge detection additionally exposes
+1-cuts, the cheapest cut-removal case.
+
+The implementation is an iterative Hopcroft–Tarjan DFS (no recursion) so that
+components with tens of thousands of vertices do not hit Python's recursion
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+def articulation_points(graph: DecompositionGraph) -> Set[int]:
+    """Return the articulation (cut) vertices of the conflict+stitch graph."""
+    points, _ = _biconnected_dfs(graph)
+    return points
+
+
+def bridges(graph: DecompositionGraph) -> List[Tuple[int, int]]:
+    """Return the bridge edges (1-cuts) of the conflict+stitch graph."""
+    result: List[Tuple[int, int]] = []
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    counter = 0
+    for root in graph.vertices():
+        if root in index:
+            continue
+        stack: List[Tuple[int, int, List[int], int]] = []
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append((root, -1, sorted(graph.neighbors(root)), 0))
+        while stack:
+            vertex, parent, neighbours, pointer = stack.pop()
+            if pointer < len(neighbours):
+                stack.append((vertex, parent, neighbours, pointer + 1))
+                child = neighbours[pointer]
+                if child == parent:
+                    continue
+                if child in index:
+                    low[vertex] = min(low[vertex], index[child])
+                else:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append((child, vertex, sorted(graph.neighbors(child)), 0))
+            else:
+                if parent != -1:
+                    low[parent] = min(low[parent], low[vertex])
+                    if low[vertex] > index[parent]:
+                        result.append((min(parent, vertex), max(parent, vertex)))
+    return sorted(result)
+
+
+def biconnected_components(graph: DecompositionGraph) -> List[List[int]]:
+    """Return the 2-vertex-connected blocks as sorted vertex lists.
+
+    Each block contains at least two vertices (an edge).  Isolated vertices
+    form singleton blocks so that every vertex appears in the output.
+    """
+    _, blocks = _biconnected_dfs(graph)
+    covered: Set[int] = set()
+    for block in blocks:
+        covered.update(block)
+    for vertex in graph.vertices():
+        if vertex not in covered:
+            blocks.append([vertex])
+    blocks = [sorted(set(block)) for block in blocks]
+    blocks.sort(key=lambda block: (block[0], len(block)))
+    return blocks
+
+
+def _biconnected_dfs(
+    graph: DecompositionGraph,
+) -> Tuple[Set[int], List[List[int]]]:
+    """Iterative DFS returning (articulation points, biconnected blocks)."""
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    points: Set[int] = set()
+    blocks: List[List[int]] = []
+    edge_stack: List[Tuple[int, int]] = []
+    counter = 0
+
+    for root in graph.vertices():
+        if root in index:
+            continue
+        root_children = 0
+        index[root] = low[root] = counter
+        counter += 1
+        dfs_stack: List[Tuple[int, int, List[int], int]] = [
+            (root, -1, sorted(graph.neighbors(root)), 0)
+        ]
+        while dfs_stack:
+            vertex, parent, neighbours, pointer = dfs_stack.pop()
+            advanced = False
+            while pointer < len(neighbours):
+                child = neighbours[pointer]
+                pointer += 1
+                if child == parent:
+                    continue
+                if child in index:
+                    if index[child] < index[vertex]:
+                        edge_stack.append((vertex, child))
+                        low[vertex] = min(low[vertex], index[child])
+                    continue
+                # Tree edge: descend.
+                edge_stack.append((vertex, child))
+                index[child] = low[child] = counter
+                counter += 1
+                if vertex == root:
+                    root_children += 1
+                dfs_stack.append((vertex, parent, neighbours, pointer))
+                dfs_stack.append((child, vertex, sorted(graph.neighbors(child)), 0))
+                advanced = True
+                break
+            if advanced:
+                continue
+            # vertex is fully processed: propagate low-link to the parent.
+            if parent != -1:
+                low[parent] = min(low[parent], low[vertex])
+                if low[vertex] >= index[parent]:
+                    if parent != root or root_children > 1 or low[vertex] > index[parent]:
+                        pass  # articulation status of root handled below
+                    # Pop the block of edges above (parent, vertex).
+                    block: Set[int] = set()
+                    while edge_stack:
+                        edge = edge_stack.pop()
+                        block.update(edge)
+                        if edge == (parent, vertex):
+                            break
+                    if block:
+                        blocks.append(sorted(block))
+                    if parent != root:
+                        points.add(parent)
+        if root_children > 1:
+            points.add(root)
+        # Any leftover edges under this root form one final block.
+        if edge_stack:
+            block = set()
+            while edge_stack:
+                block.update(edge_stack.pop())
+            blocks.append(sorted(block))
+    return points, blocks

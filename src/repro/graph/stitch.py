@@ -1,0 +1,176 @@
+"""Stitch candidate generation.
+
+A *stitch* splits one layout feature into two fragments that may be printed on
+different masks; the fragments overlap slightly in manufacturing, so a stitch
+costs yield and is penalised (weight ``alpha`` in the objective) but can
+remove an otherwise unavoidable conflict.
+
+Candidate positions follow the projection rule used by the triple-patterning
+decomposers the paper builds on: project every conflicting neighbour onto the
+long axis of the feature; a position is a legal stitch candidate only where no
+neighbour projection covers the feature, and only when both resulting
+fragments keep a minimum printable length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class StitchCandidate:
+    """A legal stitch position on a feature.
+
+    Attributes
+    ----------
+    position:
+        Cut coordinate along the feature's long axis.
+    horizontal:
+        True when the feature's long axis is x (the cut line is vertical).
+    """
+
+    position: int
+    horizontal: bool
+
+
+def _axis_interval(rect: Rect, horizontal: bool) -> Tuple[int, int]:
+    """Return the rect's interval on the chosen axis."""
+    return (rect.xl, rect.xh) if horizontal else (rect.yl, rect.yh)
+
+
+def _merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent intervals into a disjoint sorted list."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def find_stitch_candidates(
+    feature_rects: Sequence[Rect],
+    neighbour_rects: Iterable[Sequence[Rect]],
+    min_fragment_length: int,
+    projection_margin: int = 0,
+    max_candidates: int = 2,
+) -> List[StitchCandidate]:
+    """Return legal stitch candidates for one feature.
+
+    Parameters
+    ----------
+    feature_rects:
+        Rectangle decomposition of the feature.
+    neighbour_rects:
+        Rectangle decompositions of every conflicting neighbour.
+    min_fragment_length:
+        Minimum length (along the cut axis) each fragment must keep — in the
+        paper's technology this is the minimum feature width ``w_m``.
+    projection_margin:
+        Extra margin added to each neighbour projection; a positive value
+        keeps stitches further away from conflict regions.
+    max_candidates:
+        Upper bound on returned candidates (the widest gaps win).
+    """
+    if not feature_rects:
+        return []
+    bbox = feature_rects[0]
+    for rect in feature_rects[1:]:
+        bbox = bbox.union_bbox(rect)
+    horizontal = bbox.width >= bbox.height
+    lo, hi = _axis_interval(bbox, horizontal)
+
+    # Long-axis span too small to ever host two printable fragments.
+    if hi - lo < 2 * min_fragment_length:
+        return []
+
+    projections: List[Tuple[int, int]] = []
+    for rects in neighbour_rects:
+        for rect in rects:
+            p_lo, p_hi = _axis_interval(rect, horizontal)
+            projections.append((p_lo - projection_margin, p_hi + projection_margin))
+    covered = _merge_intervals(projections)
+
+    # Uncovered gaps inside the feature span, clipped to the legal cut window.
+    window_lo = lo + min_fragment_length
+    window_hi = hi - min_fragment_length
+    gaps: List[Tuple[int, int]] = []
+    cursor = lo
+    for c_lo, c_hi in covered:
+        if c_lo > cursor:
+            gaps.append((cursor, min(c_lo, hi)))
+        cursor = max(cursor, c_hi)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        gaps.append((cursor, hi))
+
+    candidates: List[Tuple[int, StitchCandidate]] = []
+    for g_lo, g_hi in gaps:
+        g_lo = max(g_lo, window_lo)
+        g_hi = min(g_hi, window_hi)
+        if g_hi <= g_lo:
+            continue
+        width = g_hi - g_lo
+        position = (g_lo + g_hi) // 2
+        candidates.append((width, StitchCandidate(position, horizontal)))
+
+    candidates.sort(key=lambda item: (-item[0], item[1].position))
+    selected = [cand for _, cand in candidates[:max_candidates]]
+    selected.sort(key=lambda cand: cand.position)
+    return selected
+
+
+def split_feature(
+    feature_rects: Sequence[Rect], candidates: Sequence[StitchCandidate]
+) -> List[List[Rect]]:
+    """Split a feature's rectangles at the given stitch positions.
+
+    Returns the fragments ordered along the cut axis; consecutive fragments
+    share a stitch edge in the decomposition graph.  With no candidates the
+    single original fragment is returned.
+    """
+    if not candidates:
+        return [list(feature_rects)]
+    horizontal = candidates[0].horizontal
+    positions = sorted(c.position for c in candidates)
+
+    fragments: List[List[Rect]] = [[] for _ in range(len(positions) + 1)]
+    boundaries = [float("-inf")] + [float(p) for p in positions] + [float("inf")]
+    for rect in feature_rects:
+        pieces = _slice_rect(rect, positions, horizontal)
+        for piece in pieces:
+            lo, hi = _axis_interval(piece, horizontal)
+            mid = (lo + hi) / 2.0
+            for index in range(len(fragments)):
+                if boundaries[index] <= mid < boundaries[index + 1]:
+                    fragments[index].append(piece)
+                    break
+    return [frag for frag in fragments if frag]
+
+
+def _slice_rect(rect: Rect, positions: Sequence[int], horizontal: bool) -> List[Rect]:
+    """Cut one rectangle at every position crossing its axis interval."""
+    pieces = [rect]
+    for position in positions:
+        next_pieces: List[Rect] = []
+        for piece in pieces:
+            lo, hi = _axis_interval(piece, horizontal)
+            if lo < position < hi:
+                if horizontal:
+                    left, right = piece.split_vertical(position)
+                else:
+                    left, right = piece.split_horizontal(position)
+                next_pieces.extend((left, right))
+            else:
+                next_pieces.append(piece)
+        pieces = next_pieces
+    return pieces

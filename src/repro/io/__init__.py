@@ -1,0 +1,13 @@
+"""Layout I/O: GDSII stream subset and JSON exchange format."""
+
+from repro.io.gds import read_gds, write_gds
+from repro.io.jsonio import dumps, loads, read_json, write_json
+
+__all__ = [
+    "read_gds",
+    "write_gds",
+    "read_json",
+    "write_json",
+    "dumps",
+    "loads",
+]

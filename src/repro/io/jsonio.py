@@ -1,0 +1,54 @@
+"""JSON layout exchange format.
+
+A human-readable alternative to GDSII for tests, examples and the synthetic
+benchmark generator.  The schema is the dictionary produced by
+:meth:`repro.geometry.Layout.to_dict`; a top-level ``"format"`` marker guards
+against feeding arbitrary JSON files into the decomposer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import LayoutIOError
+from repro.geometry.layout import Layout
+
+FORMAT_MARKER = "repro-layout-v1"
+
+
+def write_json(layout: Layout, path: Union[str, Path]) -> None:
+    """Write ``layout`` to ``path`` as indented JSON."""
+    payload = layout.to_dict()
+    payload["format"] = FORMAT_MARKER
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_json(path: Union[str, Path]) -> Layout:
+    """Read a layout previously written by :func:`write_json`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise LayoutIOError(f"{path}: not valid JSON: {exc}") from exc
+    if payload.get("format") != FORMAT_MARKER:
+        raise LayoutIOError(
+            f"{path}: missing '{FORMAT_MARKER}' format marker; "
+            "is this a repro layout file?"
+        )
+    return Layout.from_dict(payload)
+
+
+def dumps(layout: Layout) -> str:
+    """Return the JSON serialisation of ``layout`` as a string."""
+    payload = layout.to_dict()
+    payload["format"] = FORMAT_MARKER
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> Layout:
+    """Parse a layout from a JSON string produced by :func:`dumps`."""
+    payload = json.loads(text)
+    if payload.get("format") != FORMAT_MARKER:
+        raise LayoutIOError("missing layout format marker")
+    return Layout.from_dict(payload)

@@ -1,0 +1,32 @@
+"""Optimisation substrates: LP, branch-and-bound ILP and the vector-program SDP."""
+
+from repro.opt.lp import LpResult, solve_lp
+from repro.opt.ilp import (
+    BranchAndBoundSolver,
+    IlpResult,
+    IntegerProgram,
+    LinearConstraint,
+)
+from repro.opt.sdp import (
+    SdpOptions,
+    SdpResult,
+    VectorProgramSolver,
+    discrete_objective,
+    gram_from_coloring,
+    simplex_vectors,
+)
+
+__all__ = [
+    "LpResult",
+    "solve_lp",
+    "IntegerProgram",
+    "LinearConstraint",
+    "BranchAndBoundSolver",
+    "IlpResult",
+    "SdpOptions",
+    "SdpResult",
+    "VectorProgramSolver",
+    "simplex_vectors",
+    "gram_from_coloring",
+    "discrete_objective",
+]

@@ -1,0 +1,66 @@
+"""Unit tests for SVG rendering."""
+
+import pytest
+
+from repro.analysis.svg import MASK_COLORS, decomposition_to_svg, layout_to_svg
+from repro.bench.cells import four_clique_contact_cell
+from repro.bench.synthetic import dense_contact_array
+from repro.core.decomposer import Decomposer
+from repro.core.options import DecomposerOptions
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+
+
+class TestLayoutToSvg:
+    def test_writes_valid_svg(self, tmp_path):
+        layout = Layout()
+        layout.add_rect(Rect(0, 0, 100, 20), layer="metal1")
+        layout.add_rect(Rect(0, 60, 100, 80), layer="metal2")
+        path = tmp_path / "layout.svg"
+        layout_to_svg(layout, path)
+        text = path.read_text()
+        assert text.startswith("<?xml")
+        assert "<svg" in text and "</svg>" in text
+        assert text.count("<rect") >= 3  # background + 2 shapes
+
+    def test_empty_layout(self, tmp_path):
+        path = tmp_path / "empty.svg"
+        layout_to_svg(Layout(), path)
+        assert "svg" in path.read_text()
+
+    def test_layer_colors_respected(self, tmp_path):
+        layout = Layout()
+        layout.add_rect(Rect(0, 0, 10, 10), layer="metal1")
+        path = tmp_path / "colored.svg"
+        layout_to_svg(layout, path, layer_colors={"metal1": "#123456"})
+        assert "#123456" in path.read_text()
+
+
+class TestDecompositionToSvg:
+    def test_mask_colors_present(self, tmp_path):
+        options = DecomposerOptions.for_quadruple_patterning("backtrack")
+        result = Decomposer(options).decompose(
+            four_clique_contact_cell(), layer="contact"
+        )
+        path = tmp_path / "masks.svg"
+        decomposition_to_svg(result, path)
+        text = path.read_text()
+        for color in MASK_COLORS[:4]:
+            assert color in text
+
+    def test_conflicts_highlighted(self, tmp_path):
+        options = DecomposerOptions.for_k_patterning(3, "backtrack")
+        options.construction.min_coloring_distance = 80
+        result = Decomposer(options).decompose(dense_contact_array(2, 3))
+        assert result.solution.conflicts >= 1
+        path = tmp_path / "conflicts.svg"
+        decomposition_to_svg(result, path)
+        assert "#d62728" in path.read_text()
+
+    def test_highlighting_can_be_disabled(self, tmp_path):
+        options = DecomposerOptions.for_k_patterning(3, "backtrack")
+        options.construction.min_coloring_distance = 80
+        result = Decomposer(options).decompose(dense_contact_array(2, 3))
+        path = tmp_path / "plain.svg"
+        decomposition_to_svg(result, path, highlight_conflicts=False)
+        assert "#d62728" not in path.read_text()

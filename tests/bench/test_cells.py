@@ -1,0 +1,81 @@
+"""Unit tests for the figure cells and didactic graphs."""
+
+from repro.bench.cells import (
+    figure4_graph,
+    figure5_graph,
+    figure6_graph,
+    four_clique_contact_cell,
+    regular_wire_array,
+    staircase_wire_pair,
+)
+from repro.core.options import QUADRUPLE_MIN_COLORING_DISTANCE
+from repro.graph.construction import ConstructionOptions, build_decomposition_graph
+
+
+class TestFourCliqueCell:
+    def test_four_contacts(self):
+        layout = four_clique_contact_cell()
+        assert len(layout) == 4
+        assert layout.layers() == ["contact"]
+
+    def test_forms_k4_under_qp_rule(self):
+        layout = four_clique_contact_cell()
+        result = build_decomposition_graph(
+            layout,
+            layer="contact",
+            options=ConstructionOptions(
+                min_coloring_distance=QUADRUPLE_MIN_COLORING_DISTANCE,
+                enable_stitches=False,
+            ),
+        )
+        assert result.graph.num_conflict_edges == 6
+
+    def test_origin_offset(self):
+        layout = four_clique_contact_cell(origin=(1000, 2000))
+        assert layout.bbox().xl == 1000
+        assert layout.bbox().yl == 2000
+
+
+class TestRegularWireArray:
+    def test_wire_count_and_pitch(self):
+        layout = regular_wire_array(num_wires=7)
+        assert len(layout) == 7
+        ys = sorted(s.bbox.yl for s in layout)
+        gaps = {b - a for a, b in zip(ys, ys[1:])}
+        assert gaps == {40}
+
+    def test_custom_geometry(self):
+        layout = regular_wire_array(num_wires=2, wire_length=100, wire_width=10, spacing=30)
+        shapes = list(layout)
+        assert shapes[0].bbox.width == 100
+        assert shapes[0].bbox.height == 10
+
+
+class TestStaircaseWires:
+    def test_three_wires(self):
+        assert len(staircase_wire_pair()) == 3
+
+
+class TestFigureGraphs:
+    def test_figure4_structure(self):
+        g = figure4_graph()
+        assert g.num_vertices == 5
+        assert g.conflict_degree(4) == 4  # vertex e conflicts with everything
+        assert g.has_friend_edge(0, 3)
+
+    def test_figure5_structure(self):
+        g = figure5_graph()
+        assert g.num_vertices == 6
+        assert g.num_conflict_edges == 9
+        # 3-cut between the two triangles
+        crossing = [
+            (u, v)
+            for (u, v) in g.conflict_edges()
+            if (u < 3) != (v < 3)
+        ]
+        assert len(crossing) == 3
+
+    def test_figure6_structure(self):
+        g = figure6_graph()
+        assert g.num_vertices == 5
+        assert g.num_conflict_edges == 8

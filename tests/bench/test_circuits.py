@@ -1,0 +1,61 @@
+"""Unit tests for the named benchmark circuits."""
+
+import pytest
+
+from repro.bench.circuits import (
+    CIRCUIT_PROFILES,
+    TABLE1_CIRCUITS,
+    TABLE2_CIRCUITS,
+    circuit_names,
+    circuit_spec,
+    load_circuit,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCircuitCatalogue:
+    def test_table1_has_fifteen_circuits(self):
+        assert len(TABLE1_CIRCUITS) == 15
+        assert TABLE1_CIRCUITS[0] == "C432"
+        assert TABLE1_CIRCUITS[-1] == "S15850"
+
+    def test_table2_is_subset_of_table1(self):
+        assert set(TABLE2_CIRCUITS) <= set(TABLE1_CIRCUITS)
+        assert len(TABLE2_CIRCUITS) == 6
+
+    def test_every_circuit_has_a_profile(self):
+        assert set(TABLE1_CIRCUITS) == set(CIRCUIT_PROFILES)
+
+    def test_circuit_names_order(self):
+        assert circuit_names() == TABLE1_CIRCUITS
+
+
+class TestCircuitSpecs:
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            circuit_spec("C9999")
+
+    def test_scale_shrinks(self):
+        full = circuit_spec("S38417")
+        small = circuit_spec("S38417", scale=0.25)
+        assert small.rows < full.rows
+
+    def test_relative_sizes_preserved(self):
+        """The S-series circuits are much larger than the C-series ones."""
+        small = load_circuit("C432", scale=0.5)
+        large = load_circuit("S38417", scale=0.5)
+        assert len(large) > 3 * len(small)
+
+    def test_c6288_is_densest_c_circuit(self):
+        c6288 = CIRCUIT_PROFILES["C6288"]
+        assert c6288.fill_rate >= max(
+            profile.fill_rate
+            for name, profile in CIRCUIT_PROFILES.items()
+            if name != "C6288"
+        )
+
+    def test_load_circuit_deterministic(self):
+        assert (
+            load_circuit("C499", scale=0.4).to_dict()
+            == load_circuit("C499", scale=0.4).to_dict()
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic layout generator."""
+
+import pytest
+
+from repro.bench.synthetic import (
+    SyntheticSpec,
+    dense_contact_array,
+    generate_layout,
+    random_rectangles,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticSpec:
+    def test_defaults_validate(self):
+        SyntheticSpec().validate()
+
+    def test_bad_fill_rate(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(fill_rate=1.5).validate()
+
+    def test_bad_rows(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(rows=0).validate()
+
+    def test_bad_segment_range(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(segment_length=(500, 100)).validate()
+
+    def test_scaled_shrinks(self):
+        spec = SyntheticSpec(rows=10, row_length=10000)
+        small = spec.scaled(0.25)
+        assert small.rows < spec.rows
+        assert small.row_length < spec.row_length
+        small.validate()
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec().scaled(0)
+
+
+class TestGenerateLayout:
+    def test_deterministic_for_seed(self):
+        spec = SyntheticSpec(rows=3, seed=11)
+        a = generate_layout(spec)
+        b = generate_layout(spec)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        a = generate_layout(SyntheticSpec(rows=3, seed=1))
+        b = generate_layout(SyntheticSpec(rows=3, seed=2))
+        assert a.to_dict() != b.to_dict()
+
+    def test_feature_count_scales_with_rows(self):
+        small = generate_layout(SyntheticSpec(rows=2, seed=5))
+        large = generate_layout(SyntheticSpec(rows=8, seed=5))
+        assert len(large) > len(small)
+
+    def test_fill_rate_controls_density(self):
+        sparse = generate_layout(SyntheticSpec(rows=4, fill_rate=0.2, seed=5))
+        dense = generate_layout(SyntheticSpec(rows=4, fill_rate=0.9, seed=5))
+        assert len(dense) > len(sparse)
+
+    def test_all_shapes_on_requested_layer(self):
+        layout = generate_layout(SyntheticSpec(rows=2, seed=3), layer="m1")
+        assert layout.layers() == ["m1"]
+
+    def test_shapes_within_plausible_bounds(self):
+        spec = SyntheticSpec(rows=3, seed=9)
+        layout = generate_layout(spec)
+        bbox = layout.bbox()
+        assert bbox.xl >= 0
+        assert bbox.xh <= spec.row_length + spec.segment_length[1]
+
+
+class TestDenseContactArray:
+    def test_shape_count(self):
+        layout = dense_contact_array(3, 5)
+        assert len(layout) == 15
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            dense_contact_array(0, 5)
+
+
+class TestRandomRectangles:
+    def test_count(self):
+        assert len(random_rectangles(25)) == 25
+
+    def test_deterministic(self):
+        assert random_rectangles(10, seed=3).to_dict() == random_rectangles(10, seed=3).to_dict()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_rectangles(-1)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cells import figure4_graph, figure5_graph, four_clique_contact_cell
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+@pytest.fixture
+def k4_graph() -> DecompositionGraph:
+    """Complete conflict graph on 4 vertices (QP-colorable with 0 conflicts)."""
+    edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    return DecompositionGraph.from_edges(edges)
+
+
+@pytest.fixture
+def k5_graph() -> DecompositionGraph:
+    """Complete conflict graph on 5 vertices (1 unavoidable QP conflict)."""
+    edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    return DecompositionGraph.from_edges(edges)
+
+
+@pytest.fixture
+def path_graph() -> DecompositionGraph:
+    """Simple conflict path on 6 vertices."""
+    return DecompositionGraph.from_edges([(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def stitch_pair_graph() -> DecompositionGraph:
+    """Two fragments of one feature (stitch edge) each conflicting with a third."""
+    graph = DecompositionGraph.from_edges(
+        conflict_edges=[(0, 2), (1, 2)], stitch_edges=[(0, 1)]
+    )
+    return graph
+
+
+@pytest.fixture
+def fig4() -> DecompositionGraph:
+    """The Fig. 4 ordering-pitfall graph."""
+    return figure4_graph()
+
+
+@pytest.fixture
+def fig5() -> DecompositionGraph:
+    """The Fig. 5 3-cut graph (two triangles joined by a 3-cut)."""
+    return figure5_graph()
+
+
+@pytest.fixture
+def wire_row_layout() -> Layout:
+    """Three parallel wires at minimum pitch (simple conflict chain)."""
+    layout = Layout(name="wire-row")
+    for index in range(3):
+        y = index * 40
+        layout.add_rect(Rect(0, y, 400, y + 20), layer="metal1")
+    return layout
+
+
+@pytest.fixture
+def contact_cell_layout() -> Layout:
+    """The Fig. 1 four-contact cell."""
+    return four_clique_contact_cell()

@@ -1,0 +1,123 @@
+"""Unit tests for the exact backtracking color assignment (Algorithm 1)."""
+
+import itertools
+
+import pytest
+
+from repro.core.backtrack import (
+    BacktrackColoring,
+    BacktrackStatistics,
+    search_merged_graph,
+)
+from repro.core.evaluation import count_conflicts, count_stitches, evaluate
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.graph.simplify import build_merged_graph
+
+
+def exact_optimum(graph: DecompositionGraph, num_colors: int, alpha: float) -> float:
+    """Brute-force optimum of the weighted coloring objective."""
+    vertices = graph.vertices()
+    best = float("inf")
+    for assignment in itertools.product(range(num_colors), repeat=len(vertices)):
+        coloring = dict(zip(vertices, assignment))
+        cost = evaluate(graph, coloring, alpha).cost
+        best = min(best, cost)
+    return best
+
+
+class TestSearchMergedGraph:
+    def test_empty_graph(self):
+        merged = build_merged_graph(DecompositionGraph(), [])
+        assert search_merged_graph(merged, 4, 0.1) == {}
+
+    def test_k4_zero_cost(self):
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        g = DecompositionGraph.from_edges(edges)
+        merged = build_merged_graph(g, [])
+        coloring = merged.expand_coloring(search_merged_graph(merged, 4, 0.1))
+        assert count_conflicts(g, coloring) == 0
+
+    def test_k5_single_conflict(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = DecompositionGraph.from_edges(edges)
+        merged = build_merged_graph(g, [])
+        coloring = merged.expand_coloring(search_merged_graph(merged, 4, 0.1))
+        assert count_conflicts(g, coloring) == 1
+
+    def test_statistics_filled(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        merged = build_merged_graph(g, [])
+        stats = BacktrackStatistics()
+        search_merged_graph(merged, 4, 0.1, statistics=stats)
+        assert stats.expansions > 0
+        assert stats.completed
+        assert stats.best_cost == 0
+
+    def test_expansion_limit_returns_incumbent(self):
+        edges = [(i, j) for i in range(10) for j in range(i + 1, 10)]
+        g = DecompositionGraph.from_edges(edges)
+        merged = build_merged_graph(g, [])
+        stats = BacktrackStatistics()
+        coloring = search_merged_graph(
+            merged, 4, 0.1, expansion_limit=5, statistics=stats
+        )
+        assert not stats.completed
+        assert len(coloring) == 10  # still a complete assignment
+
+    def test_respects_merged_weights(self):
+        """With a heavy stitch weight the two groups should share a color."""
+        g = DecompositionGraph.from_edges(
+            conflict_edges=[(0, 2)], stitch_edges=[(0, 1), (0, 3), (1, 3)]
+        )
+        merged = build_merged_graph(g, [(1, 3)])
+        node_coloring = search_merged_graph(merged, 4, alpha=0.5)
+        coloring = merged.expand_coloring(node_coloring)
+        assert coloring[1] == coloring[3]
+        assert count_conflicts(g, coloring) == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = 7
+        conflict = [
+            (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.45
+        ]
+        stitch = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (i, j) not in conflict and rng.random() < 0.15
+        ]
+        g = DecompositionGraph.from_edges(conflict, stitch, vertices=range(n))
+        merged = build_merged_graph(g, [])
+        coloring = merged.expand_coloring(search_merged_graph(merged, 3, 0.1))
+        assert evaluate(g, coloring, 0.1).cost == pytest.approx(
+            exact_optimum(g, 3, 0.1)
+        )
+
+
+class TestBacktrackColoring:
+    def test_empty_graph(self):
+        assert BacktrackColoring(4).color(DecompositionGraph()) == {}
+
+    def test_colors_every_vertex(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2), (0, 2)], [(2, 3)])
+        coloring = BacktrackColoring(4).color(g)
+        assert set(coloring) == set(g.vertices())
+        assert count_conflicts(g, coloring) == 0
+        assert count_stitches(g, coloring) == 0
+
+    def test_two_k5s_need_two_conflicts(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i + 5, j + 5) for i in range(5) for j in range(i + 1, 5)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = BacktrackColoring(4).color(g)
+        assert count_conflicts(g, coloring) == 2
+
+    def test_five_colors_resolve_k5(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = BacktrackColoring(5).color(g)
+        assert count_conflicts(g, coloring) == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the end-to-end decomposer."""
+
+import pytest
+
+from repro.bench.cells import four_clique_contact_cell
+from repro.core.decomposer import Decomposer, decompose_layout, make_colorer
+from repro.core.options import AlgorithmOptions, DecomposerOptions
+from repro.errors import ConfigurationError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+
+
+class TestMakeColorer:
+    @pytest.mark.parametrize(
+        "name",
+        ["ilp", "sdp-backtrack", "sdp-greedy", "linear", "backtrack", "greedy"],
+    )
+    def test_known_algorithms(self, name):
+        colorer = make_colorer(name, 4, AlgorithmOptions())
+        assert colorer.num_colors == 4
+        assert colorer.name == name
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_colorer("magic", 4)
+
+
+class TestDecomposer:
+    def test_contact_cell_quadruple_patterning(self, contact_cell_layout):
+        """Fig. 1: the 4-clique contact cell decomposes conflict-free with 4 masks."""
+        options = DecomposerOptions.for_quadruple_patterning("backtrack")
+        result = Decomposer(options).decompose(contact_cell_layout, layer="contact")
+        assert result.solution.conflicts == 0
+        assert len(set(result.solution.coloring.values())) == 4
+
+    def test_contact_cell_triple_patterning_conflict(self, contact_cell_layout):
+        """The same cell is a native conflict for triple patterning."""
+        options = DecomposerOptions.for_k_patterning(3, "backtrack")
+        options.construction.min_coloring_distance = 80
+        result = Decomposer(options).decompose(contact_cell_layout, layer="contact")
+        assert result.solution.conflicts >= 1
+
+    def test_wire_row(self, wire_row_layout):
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        result = Decomposer(options).decompose(wire_row_layout)
+        assert result.solution.conflicts == 0
+        assert result.solution.num_colors == 4
+        assert set(result.solution.coloring) == set(
+            result.construction.graph.vertices()
+        )
+
+    def test_mask_layout_output(self, wire_row_layout):
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        result = Decomposer(options).decompose(wire_row_layout)
+        masks = result.to_mask_layout()
+        assert sum(masks.count_on_layer(layer) for layer in masks.layers()) >= len(
+            wire_row_layout
+        )
+        assert all(layer.startswith("mask") for layer in masks.layers())
+
+    def test_mask_counts_cover_all_vertices(self, wire_row_layout):
+        options = DecomposerOptions.for_quadruple_patterning("greedy")
+        result = Decomposer(options).decompose(wire_row_layout)
+        assert sum(result.mask_counts().values()) == len(result.solution.coloring)
+
+    def test_decompose_graph_direct(self, wire_row_layout):
+        from repro.graph.construction import build_decomposition_graph
+
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        construction = build_decomposition_graph(
+            wire_row_layout, options=options.construction
+        )
+        solution = Decomposer(options).decompose_graph(construction.graph)
+        assert solution.conflicts == 0
+
+    def test_timing_recorded(self, wire_row_layout):
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        result = Decomposer(options).decompose(wire_row_layout)
+        assert result.solution.total_seconds >= result.solution.color_assignment_seconds
+        assert result.solution.color_assignment_seconds >= 0
+
+    def test_invalid_options_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            Decomposer(DecomposerOptions(algorithm="nope"))
+
+
+class TestDecomposeLayoutHelper:
+    def test_default_quadruple(self, contact_cell_layout):
+        result = decompose_layout(
+            contact_cell_layout, layer="contact", algorithm="backtrack"
+        )
+        assert result.solution.num_colors == 4
+        assert result.solution.conflicts == 0
+
+    def test_pentuple(self, contact_cell_layout):
+        result = decompose_layout(
+            contact_cell_layout, layer="contact", num_colors=5, algorithm="linear"
+        )
+        assert result.solution.num_colors == 5
+        assert result.solution.conflicts == 0
+
+    def test_general_k(self):
+        layout = Layout()
+        for i in range(3):
+            layout.add_rect(Rect(0, i * 40, 200, i * 40 + 20))
+        result = decompose_layout(layout, num_colors=6, algorithm="linear")
+        assert result.solution.num_colors == 6

@@ -1,0 +1,123 @@
+"""Unit tests for the graph division pipeline (Section 4)."""
+
+import pytest
+
+from repro.core.backtrack import BacktrackColoring
+from repro.core.division import DivisionReport, divide_and_color
+from repro.core.evaluation import count_conflicts, evaluate
+from repro.core.greedy_coloring import GreedyColoring
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import DivisionOptions
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+def k_clique(n, offset=0):
+    return [(i + offset, j + offset) for i in range(n) for j in range(i + 1, n)]
+
+
+class TestDivideAndColor:
+    def test_empty_graph(self):
+        assert divide_and_color(DecompositionGraph(), BacktrackColoring(4)) == {}
+
+    def test_complete_coloring_produced(self):
+        edges = k_clique(5) + k_clique(5, offset=5) + [(4, 5)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = divide_and_color(g, BacktrackColoring(4))
+        assert set(coloring) == set(g.vertices())
+
+    def test_independent_components_colored_independently(self):
+        g = DecompositionGraph.from_edges(k_clique(4) + k_clique(4, offset=10))
+        report = DivisionReport()
+        coloring = divide_and_color(g, BacktrackColoring(4), report=report)
+        assert report.num_connected_components == 2
+        assert count_conflicts(g, coloring) == 0
+
+    def test_peeling_reduces_work(self):
+        """A long path hanging off a K5 is peeled, so the colorer only ever
+        sees the K5 kernel."""
+        edges = k_clique(5) + [(4, 5), (5, 6), (6, 7), (7, 8)]
+        g = DecompositionGraph.from_edges(edges)
+        report = DivisionReport()
+        coloring = divide_and_color(g, BacktrackColoring(4), report=report)
+        assert report.peeled_vertices == 4
+        assert report.largest_colored_piece == 5
+        assert count_conflicts(g, coloring) == 1  # only the K5 conflict remains
+
+    def test_division_does_not_hurt_quality_on_k5_chain(self):
+        """Quality with the full pipeline matches the no-division exact result."""
+        edges = k_clique(5) + k_clique(5, offset=5) + [(0, 5), (1, 6), (2, 7)]
+        g = DecompositionGraph.from_edges(edges)
+        with_division = divide_and_color(
+            g, BacktrackColoring(4), division=DivisionOptions()
+        )
+        without_division = divide_and_color(
+            g, BacktrackColoring(4), division=DivisionOptions().all_disabled()
+        )
+        assert (
+            count_conflicts(g, with_division)
+            == count_conflicts(g, without_division)
+            == 2
+        )
+
+    def test_all_disabled_still_complete(self):
+        edges = k_clique(5) + [(4, 5), (5, 6)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = divide_and_color(
+            g, LinearColoring(4), division=DivisionOptions().all_disabled()
+        )
+        assert set(coloring) == set(g.vertices())
+
+    @pytest.mark.parametrize(
+        "flag",
+        [
+            "independent_components",
+            "low_degree_removal",
+            "biconnected_components",
+            "ghtree_cut_removal",
+        ],
+    )
+    def test_each_technique_alone_is_safe(self, flag):
+        """Enabling any single technique never breaks solution validity."""
+        division = DivisionOptions().all_disabled()
+        setattr(division, flag, True)
+        edges = k_clique(5) + k_clique(4, offset=5) + [(2, 5), (4, 8), (8, 9), (9, 2)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = divide_and_color(g, BacktrackColoring(4), division=division)
+        assert set(coloring) == set(g.vertices())
+        assert count_conflicts(g, coloring) <= 2
+
+    def test_biconnected_blocks_share_cut_vertex_color(self):
+        """Two K5 blocks sharing a cut vertex: the merge must keep the shared
+        vertex at one color and still find the 2-conflict optimum."""
+        block_a = k_clique(5)  # vertices 0..4
+        block_b = [(i, j) for i in [4, 5, 6, 7, 8] for j in [4, 5, 6, 7, 8] if i < j]
+        g = DecompositionGraph.from_edges(block_a + block_b)
+        coloring = divide_and_color(g, BacktrackColoring(4))
+        assert count_conflicts(g, coloring) == 2
+
+    def test_ghtree_rotation_on_two_k5s(self):
+        """Two K5s joined by a 3-cut: GH-tree division plus rotation must not
+        add conflicts beyond the two unavoidable ones."""
+        edges = k_clique(5) + k_clique(5, offset=5) + [(0, 5), (1, 6), (2, 7)]
+        g = DecompositionGraph.from_edges(edges)
+        division = DivisionOptions(
+            independent_components=True,
+            low_degree_removal=False,
+            biconnected_components=False,
+            ghtree_cut_removal=True,
+            ghtree_minimum_size=4,
+        )
+        report = DivisionReport()
+        coloring = divide_and_color(
+            g, BacktrackColoring(4), division=division, report=report
+        )
+        assert count_conflicts(g, coloring) == 2
+        assert report.num_ghtree_parts >= 2
+
+    def test_report_piece_statistics(self):
+        g = DecompositionGraph.from_edges(k_clique(5))
+        report = DivisionReport()
+        divide_and_color(g, GreedyColoring(4), report=report)
+        assert report.num_vertices == 5
+        assert report.colored_pieces >= 1
+        assert report.largest_colored_piece == 5

@@ -1,0 +1,83 @@
+"""Unit tests for the greedy coloring helpers."""
+
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.greedy_coloring import (
+    GreedyColoring,
+    greedy_color_graph,
+    greedy_color_merged,
+    pick_greedy_color,
+)
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.graph.simplify import build_merged_graph
+
+
+class TestPickGreedyColor:
+    def test_avoids_conflicts(self):
+        g = DecompositionGraph.from_edges([(0, 1), (0, 2)])
+        coloring = {1: 0, 2: 1}
+        assert pick_greedy_color(g, 0, coloring, 4, 0.1) == 2
+
+    def test_prefers_stitch_match(self):
+        g = DecompositionGraph.from_edges([(0, 1)], [(0, 2)])
+        coloring = {1: 0, 2: 2}
+        assert pick_greedy_color(g, 0, coloring, 4, 0.1) == 2
+
+    def test_breaks_ties_with_lowest_color(self):
+        g = DecompositionGraph.from_edges([], vertices=[0])
+        assert pick_greedy_color(g, 0, {}, 4, 0.1) == 0
+
+
+class TestGreedyColorGraph:
+    def test_path_needs_no_conflicts(self):
+        g = DecompositionGraph.from_edges([(i, i + 1) for i in range(6)])
+        coloring = greedy_color_graph(g, 4, 0.1)
+        assert count_conflicts(g, coloring) == 0
+
+    def test_k4_conflict_free_with_four_colors(self):
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = greedy_color_graph(g, 4, 0.1)
+        assert count_conflicts(g, coloring) == 0
+        assert len(set(coloring.values())) == 4
+
+    def test_k5_has_exactly_one_conflict(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = DecompositionGraph.from_edges(edges)
+        coloring = greedy_color_graph(g, 4, 0.1)
+        assert count_conflicts(g, coloring) == 1
+
+    def test_respects_explicit_order(self):
+        g = DecompositionGraph.from_edges([(0, 1)])
+        coloring = greedy_color_graph(g, 4, 0.1, order=[1, 0])
+        assert coloring[1] == 0 and coloring[0] == 1
+
+    def test_stitch_edges_pull_colors_together(self):
+        g = DecompositionGraph.from_edges([], [(0, 1), (1, 2)])
+        coloring = greedy_color_graph(g, 4, 0.1)
+        assert count_stitches(g, coloring) == 0
+
+
+class TestGreedyColorMerged:
+    def test_weighted_conflicts_respected(self):
+        g = DecompositionGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        merged = build_merged_graph(g, [])
+        node_coloring = greedy_color_merged(merged, 4, 0.1)
+        conflicts, stitches, _ = merged.coloring_cost(node_coloring, 0.1)
+        assert conflicts == 0
+
+    def test_empty_merged_graph(self):
+        g = DecompositionGraph()
+        merged = build_merged_graph(g, [])
+        assert greedy_color_merged(merged, 4, 0.1) == {}
+
+
+class TestGreedyColoringAlgorithm:
+    def test_colors_every_vertex(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2), (2, 3)], [(3, 4)])
+        algorithm = GreedyColoring(4)
+        coloring = algorithm.color(g)
+        assert set(coloring) == set(g.vertices())
+        assert all(0 <= c < 4 for c in coloring.values())
+
+    def test_name(self):
+        assert GreedyColoring(4).name == "greedy"

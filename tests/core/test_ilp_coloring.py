@@ -1,0 +1,81 @@
+"""Unit tests for the exact ILP color assignment."""
+
+import pytest
+
+from repro.core.evaluation import count_conflicts, count_stitches, evaluate
+from repro.core.ilp_coloring import IlpColoring, build_coloring_program, extract_coloring
+from repro.core.options import AlgorithmOptions
+from repro.errors import TimeoutExceededError
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.opt.ilp import BranchAndBoundSolver
+
+
+class TestProgramConstruction:
+    def test_variable_and_constraint_counts(self):
+        g = DecompositionGraph.from_edges([(0, 1)], [(1, 2)])
+        program = build_coloring_program(g, 4, 0.1)
+        # 3 vertices * 4 colors + 1 conflict var + 1 stitch var
+        assert program.num_variables == 14
+        # 3 assignment + 4 conflict + 8 stitch constraints
+        assert program.num_constraints == 15
+
+    def test_solution_extraction(self):
+        g = DecompositionGraph.from_edges([(0, 1)])
+        program = build_coloring_program(g, 2, 0.1)
+        result = BranchAndBoundSolver().solve(program)
+        coloring = extract_coloring(g, result, 2)
+        assert set(coloring) == {0, 1}
+        assert coloring[0] != coloring[1]
+
+
+class TestIlpColoring:
+    def test_empty_graph(self):
+        assert IlpColoring(4).color(DecompositionGraph()) == {}
+
+    def test_k4_zero_conflicts(self, k4_graph):
+        coloring = IlpColoring(4).color(k4_graph)
+        assert count_conflicts(k4_graph, coloring) == 0
+
+    def test_k5_exactly_one_conflict(self, k5_graph):
+        coloring = IlpColoring(4).color(k5_graph)
+        assert count_conflicts(k5_graph, coloring) == 1
+
+    def test_stitch_minimisation(self, stitch_pair_graph):
+        """The two fragments should share a color; the third vertex differs."""
+        coloring = IlpColoring(4).color(stitch_pair_graph)
+        assert count_conflicts(stitch_pair_graph, coloring) == 0
+        assert count_stitches(stitch_pair_graph, coloring) == 0
+
+    def test_matches_exact_on_weighted_instance(self):
+        """ILP optimum equals the brute-force optimum on a small mixed graph."""
+        import itertools
+
+        g = DecompositionGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), (3, 4)],
+            [(4, 5), (5, 0)],
+        )
+        coloring = IlpColoring(3).color(g)
+        got = evaluate(g, coloring, 0.1).cost
+        best = min(
+            evaluate(g, dict(zip(g.vertices(), assignment)), 0.1).cost
+            for assignment in itertools.product(range(3), repeat=g.num_vertices)
+        )
+        assert got == pytest.approx(best)
+
+    def test_timeout_counter_increments(self, k5_graph):
+        options = AlgorithmOptions(ilp_time_limit=0.0)
+        colorer = IlpColoring(4, options)
+        coloring = colorer.color(k5_graph)
+        # A zero budget cannot prove optimality; the fallback still colors.
+        assert set(coloring) == set(k5_graph.vertices())
+        assert colorer.timeouts >= 1
+
+    def test_raise_on_timeout(self, k5_graph):
+        options = AlgorithmOptions(ilp_time_limit=0.0)
+        colorer = IlpColoring(4, options, raise_on_timeout=True)
+        with pytest.raises(TimeoutExceededError):
+            colorer.color(k5_graph)
+
+    def test_five_colors(self, k5_graph):
+        coloring = IlpColoring(5).color(k5_graph)
+        assert count_conflicts(k5_graph, coloring) == 0

@@ -1,0 +1,51 @@
+"""Unit tests for greedy post-refinement."""
+
+from repro.core.evaluation import evaluate
+from repro.core.refinement import local_color_cost, refine_coloring
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+class TestLocalColorCost:
+    def test_conflict_and_stitch_cost(self):
+        g = DecompositionGraph.from_edges([(0, 1)], [(0, 2)])
+        coloring = {1: 2, 2: 3}
+        assert local_color_cost(g, 0, 2, coloring, alpha=0.1) == 1 + 0.1
+        assert local_color_cost(g, 0, 3, coloring, alpha=0.1) == 0.0
+
+    def test_uncolored_neighbours_ignored(self):
+        g = DecompositionGraph.from_edges([(0, 1)])
+        assert local_color_cost(g, 0, 0, {}, alpha=0.1) == 0.0
+
+
+class TestRefineColoring:
+    def test_fixes_obvious_conflict(self):
+        g = DecompositionGraph.from_edges([(0, 1)])
+        coloring = {0: 0, 1: 0}
+        refined, changed = refine_coloring(g, coloring, 4, alpha=0.1)
+        assert changed >= 1
+        assert refined[0] != refined[1]
+
+    def test_never_degrades_cost(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        edges = [(i, j) for i in range(12) for j in range(i + 1, 12) if rng.random() < 0.3]
+        g = DecompositionGraph.from_edges(edges, vertices=range(12))
+        coloring = {v: int(rng.integers(0, 4)) for v in g.vertices()}
+        before = evaluate(g, coloring, 0.1)
+        refine_coloring(g, coloring, 4, alpha=0.1, max_passes=3)
+        after = evaluate(g, coloring, 0.1)
+        assert after.cost <= before.cost
+
+    def test_stops_when_stable(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        coloring = {0: 0, 1: 1, 2: 0}
+        _, changed = refine_coloring(g, coloring, 4, alpha=0.1, max_passes=5)
+        assert changed == 0
+
+    def test_partial_colorings_are_tolerated(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        coloring = {0: 0, 1: 0}  # vertex 2 uncolored
+        refine_coloring(g, coloring, 4, alpha=0.1)
+        assert 2 not in coloring
+        assert coloring[0] != coloring[1]

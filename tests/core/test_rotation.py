@@ -1,0 +1,106 @@
+"""Unit tests for color rotation and component merging (Lemma 1)."""
+
+import pytest
+
+from repro.bench.cells import figure5_graph
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.rotation import (
+    best_rotation,
+    merge_component_colorings,
+    rotate_coloring,
+)
+from repro.errors import DecompositionError
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+class TestRotateColoring:
+    def test_rotation_wraps(self):
+        assert rotate_coloring({0: 3, 1: 0}, 1, 4) == {0: 0, 1: 1}
+
+    def test_zero_rotation_is_identity(self):
+        coloring = {0: 2, 1: 1}
+        assert rotate_coloring(coloring, 0, 4) == coloring
+
+    def test_rotation_preserves_internal_conflicts(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        coloring = {0: 0, 1: 1, 2: 0}
+        for offset in range(4):
+            rotated = rotate_coloring(coloring, offset, 4)
+            assert count_conflicts(g, rotated) == count_conflicts(g, coloring)
+
+
+class TestBestRotation:
+    def test_single_crossing_conflict_avoided(self):
+        crossing = [(0, 10, True)]
+        fixed = {0: 2}
+        component = {10: 2}
+        offset, cost = best_rotation(crossing, fixed, component, 4, 0.1)
+        assert cost == 0
+        assert (component[10] + offset) % 4 != fixed[0]
+
+    def test_three_crossing_edges_always_resolvable(self):
+        """Lemma 1: with K=4 and at most 3 crossing conflict edges a zero-cost
+        rotation always exists, whatever the endpoint colors."""
+        import itertools
+
+        crossing = [(0, 10, True), (1, 11, True), (2, 12, True)]
+        for fixed_colors in itertools.product(range(4), repeat=3):
+            for component_colors in itertools.product(range(4), repeat=3):
+                fixed = dict(zip([0, 1, 2], fixed_colors))
+                component = dict(zip([10, 11, 12], component_colors))
+                _, cost = best_rotation(crossing, fixed, component, 4, 0.1)
+                assert cost == 0
+
+    def test_stitch_edges_break_ties(self):
+        crossing = [(0, 10, False)]
+        fixed = {0: 1}
+        component = {10: 3}
+        offset, cost = best_rotation(crossing, fixed, component, 4, 0.1)
+        assert (component[10] + offset) % 4 == 1
+        assert cost == 0
+
+
+class TestMergeComponentColorings:
+    def test_figure5_rotation_removes_cut_conflicts(self):
+        """Fig. 5: color the two triangles independently, then rotation makes
+        the 3-cut conflict free."""
+        graph = figure5_graph()
+        left = {0: 0, 1: 1, 2: 2}
+        # Valid triangle coloring that clashes with `left` on every cut edge.
+        right = {3: 0, 4: 1, 5: 2}
+        merged = merge_component_colorings(graph, [left, right], 4, 0.1)
+        assert count_conflicts(graph, merged) == 0
+        # The already-placed component keeps its colors.
+        assert {v: merged[v] for v in (0, 1, 2)} == left
+
+    def test_disconnected_components_unchanged(self):
+        g = DecompositionGraph.from_edges([(0, 1), (2, 3)])
+        first = {0: 0, 1: 1}
+        second = {2: 3, 3: 2}
+        merged = merge_component_colorings(g, [first, second], 4, 0.1)
+        assert merged == {**first, **second}
+
+    def test_overlapping_components_rejected(self):
+        g = DecompositionGraph.from_edges([(0, 1)])
+        with pytest.raises(DecompositionError):
+            merge_component_colorings(g, [{0: 0, 1: 1}, {1: 2}], 4, 0.1)
+
+    def test_missing_vertex_rejected(self):
+        g = DecompositionGraph.from_edges([(0, 1)])
+        with pytest.raises(DecompositionError):
+            merge_component_colorings(g, [{0: 0}], 4, 0.1)
+
+    def test_stitch_crossing_preferred_to_match(self):
+        g = DecompositionGraph.from_edges(conflict_edges=[], stitch_edges=[(0, 1)])
+        merged = merge_component_colorings(g, [{0: 2}, {1: 0}], 4, 0.1)
+        assert merged[0] == merged[1]
+        assert count_stitches(g, merged) == 0
+
+    def test_chain_of_components(self):
+        """Three components in a row are merged pairwise without conflicts."""
+        g = DecompositionGraph.from_edges(
+            [(0, 1), (2, 3), (4, 5), (1, 2), (3, 4)]
+        )
+        colorings = [{0: 0, 1: 1}, {2: 1, 3: 0}, {4: 0, 5: 1}]
+        merged = merge_component_colorings(g, colorings, 4, 0.1)
+        assert count_conflicts(g, merged) == 0

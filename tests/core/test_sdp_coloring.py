@@ -1,0 +1,86 @@
+"""Unit tests for SDP-based color assignment (greedy and backtrack mappings)."""
+
+import pytest
+
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.options import AlgorithmOptions
+from repro.core.sdp_coloring import SdpColoring
+from repro.errors import ConfigurationError
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+@pytest.fixture(params=["backtrack", "greedy"])
+def mapping(request):
+    return request.param
+
+
+class TestSdpColoring:
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SdpColoring(4, mapping="magic")
+
+    def test_name_reflects_mapping(self):
+        assert SdpColoring(4, mapping="backtrack").name == "sdp-backtrack"
+        assert SdpColoring(4, mapping="greedy").name == "sdp-greedy"
+
+    def test_empty_graph(self, mapping):
+        assert SdpColoring(4, mapping=mapping).color(DecompositionGraph()) == {}
+
+    def test_single_vertex(self, mapping):
+        g = DecompositionGraph.from_edges([], vertices=[7])
+        assert SdpColoring(4, mapping=mapping).color(g) == {7: 0}
+
+    def test_no_conflict_graph_uses_single_mask(self, mapping):
+        g = DecompositionGraph.from_edges([], [(0, 1), (1, 2)])
+        coloring = SdpColoring(4, mapping=mapping).color(g)
+        assert count_stitches(g, coloring) == 0
+
+    def test_k4_zero_conflicts(self, k4_graph, mapping):
+        coloring = SdpColoring(4, mapping=mapping).color(k4_graph)
+        assert count_conflicts(k4_graph, coloring) == 0
+
+    def test_k5_single_conflict_backtrack(self, k5_graph):
+        coloring = SdpColoring(4, mapping="backtrack").color(k5_graph)
+        assert count_conflicts(k5_graph, coloring) == 1
+
+    def test_pentuple_resolves_k5(self, k5_graph, mapping):
+        coloring = SdpColoring(5, mapping=mapping).color(k5_graph)
+        assert count_conflicts(k5_graph, coloring) == 0
+
+    def test_colors_every_vertex_on_mixed_graph(self, fig4, mapping):
+        coloring = SdpColoring(4, mapping=mapping).color(fig4)
+        assert set(coloring) == set(fig4.vertices())
+
+    def test_figure4_conflict_free_with_backtrack(self, fig4):
+        coloring = SdpColoring(4, mapping="backtrack").color(fig4)
+        assert count_conflicts(fig4, coloring) == 0
+
+    def test_stitch_fragments_share_mask(self, stitch_pair_graph):
+        coloring = SdpColoring(4, mapping="backtrack").color(stitch_pair_graph)
+        assert count_conflicts(stitch_pair_graph, coloring) == 0
+        assert count_stitches(stitch_pair_graph, coloring) == 0
+
+    def test_backtrack_stats_recorded(self, k5_graph):
+        colorer = SdpColoring(4, mapping="backtrack")
+        colorer.color(k5_graph)
+        assert colorer.last_backtrack_stats is not None
+        assert colorer.last_backtrack_stats.expansions > 0
+
+    def test_backtrack_never_worse_than_greedy_on_dense_graph(self):
+        """The paper's headline quality ordering on a dense block."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        n = 14
+        edges = [
+            (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.5
+        ]
+        g = DecompositionGraph.from_edges(edges, vertices=range(n))
+        backtrack = SdpColoring(4, mapping="backtrack").color(g)
+        greedy = SdpColoring(4, mapping="greedy").color(g)
+        assert count_conflicts(g, backtrack) <= count_conflicts(g, greedy)
+
+    def test_merge_threshold_option_respected(self, k4_graph):
+        options = AlgorithmOptions(sdp_merge_threshold=0.99)
+        coloring = SdpColoring(4, options, mapping="backtrack").color(k4_graph)
+        assert count_conflicts(k4_graph, coloring) == 0

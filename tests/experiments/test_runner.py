@@ -1,0 +1,104 @@
+"""Unit tests for the experiment harness (Table 1 / Table 2 regeneration)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    TABLE1_ALGORITHMS,
+    TABLE2_ALGORITHMS,
+    ExperimentRow,
+    ExperimentTable,
+    build_graph_for_circuit,
+    format_row,
+    format_table,
+    run_algorithm,
+    run_table,
+    run_table1,
+    run_table2,
+)
+
+
+class TestBuildGraph:
+    def test_quadruple_and_pentuple_distances(self):
+        qp = build_graph_for_circuit("C432", 4, scale=0.3)
+        pp = build_graph_for_circuit("C432", 5, scale=0.3)
+        assert qp.options.min_coloring_distance == 80
+        assert pp.options.min_coloring_distance == 110
+        assert pp.graph.num_conflict_edges >= qp.graph.num_conflict_edges
+
+
+class TestRunAlgorithm:
+    def test_row_fields(self):
+        construction = build_graph_for_circuit("C432", 4, scale=0.3)
+        row = run_algorithm(construction.graph, "linear", 4, circuit="C432")
+        assert row.circuit == "C432"
+        assert row.algorithm == "linear"
+        assert row.status == "ok"
+        assert row.vertices == construction.graph.num_vertices
+        assert row.conflicts >= 0 and row.stitches >= 0
+        assert row.seconds >= 0
+
+    def test_ilp_timeout_marks_row(self):
+        construction = build_graph_for_circuit("C6288", 4, scale=0.3)
+        row = run_algorithm(
+            construction.graph, "ilp", 4, circuit="C6288", ilp_time_limit=0.0
+        )
+        assert row.status == "timeout"
+        assert not row.is_valid
+
+
+class TestExperimentTable:
+    def _tiny_table(self):
+        return run_table(
+            circuits=["C432"],
+            algorithms=["linear", "greedy"],
+            num_colors=4,
+            scale=0.3,
+            name="tiny",
+        )
+
+    def test_rows_and_lookup(self):
+        table = self._tiny_table()
+        assert len(table.rows) == 2
+        assert table.circuits() == ["C432"]
+        assert table.algorithms() == ["linear", "greedy"]
+        assert table.row("C432", "linear") is not None
+        assert table.row("C432", "ilp") is None
+
+    def test_averages(self):
+        table = self._tiny_table()
+        averages = table.averages("linear")
+        assert averages is not None
+        assert averages["count"] == 1.0
+        assert table.averages("missing") is None
+
+    def test_format_table_contains_all_columns(self):
+        table = self._tiny_table()
+        text = format_table(table, baseline="linear")
+        assert "C432" in text
+        assert "linear:cn#" in text
+        assert "avg." in text and "ratio" in text
+
+    def test_format_row_na(self):
+        row = ExperimentRow("X", "ilp", 4, 0, 0, 0.0, 1, 0, 0, status="timeout")
+        assert "N/A" in format_row(row)
+
+
+class TestTablePresets:
+    def test_table1_default_algorithms(self):
+        assert TABLE1_ALGORITHMS == ["ilp", "sdp-backtrack", "sdp-greedy", "linear"]
+
+    def test_table2_has_no_ilp(self):
+        assert "ilp" not in TABLE2_ALGORITHMS
+
+    def test_run_table1_restricted(self):
+        table = run_table1(
+            circuits=["C432"], algorithms=["linear"], scale=0.3
+        )
+        assert table.num_colors == 4
+        assert len(table.rows) == 1
+
+    def test_run_table2_restricted(self):
+        table = run_table2(circuits=["C6288"], algorithms=["linear"], scale=0.3)
+        assert table.num_colors == 5
+        assert len(table.rows) == 1
+        assert table.rows[0].algorithm == "linear"

@@ -1,0 +1,70 @@
+"""Unit tests for the spacing predicates in repro.geometry.distance."""
+
+import pytest
+
+from repro.geometry.distance import (
+    in_distance_band,
+    in_distance_band_rects,
+    rects_squared_distance,
+    within_distance,
+    within_distance_rects,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+def poly(xl, yl, xh, yh):
+    return Polygon.from_rect(Rect(xl, yl, xh, yh))
+
+
+class TestRectSetDistance:
+    def test_minimum_over_sets(self):
+        first = [Rect(0, 0, 10, 10), Rect(100, 0, 110, 10)]
+        second = [Rect(40, 0, 50, 10)]
+        # closest pair is (100..110) vs (40..50): gap 50; and (0..10) vs 40: gap 30
+        assert rects_squared_distance(first, second) == 30 * 30
+
+    def test_zero_when_overlapping(self):
+        assert rects_squared_distance([Rect(0, 0, 10, 10)], [Rect(5, 5, 8, 8)]) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rects_squared_distance([], [Rect(0, 0, 1, 1)])
+
+
+class TestWithinDistance:
+    def test_strictly_within(self):
+        a, b = poly(0, 0, 20, 20), poly(60, 0, 80, 20)  # spacing 40
+        assert within_distance(a, b, 41)
+        assert not within_distance(a, b, 40)  # strict comparison at the rule edge
+
+    def test_touching_counts(self):
+        a, b = poly(0, 0, 20, 20), poly(20, 0, 40, 20)
+        assert within_distance(a, b, 1)
+
+    def test_rect_variant_matches(self):
+        a, b = poly(0, 0, 20, 20), poly(60, 0, 80, 20)
+        assert within_distance_rects(a.to_rects(), b.to_rects(), 41)
+        assert not within_distance_rects(a.to_rects(), b.to_rects(), 40)
+
+
+class TestDistanceBand:
+    def test_inside_band(self):
+        a, b = poly(0, 0, 20, 20), poly(110, 0, 130, 20)  # spacing 90
+        assert in_distance_band(a, b, 80, 100)
+
+    def test_below_band(self):
+        a, b = poly(0, 0, 20, 20), poly(60, 0, 80, 20)  # spacing 40
+        assert not in_distance_band(a, b, 80, 100)
+
+    def test_at_lower_edge_included(self):
+        a, b = poly(0, 0, 20, 20), poly(100, 0, 120, 20)  # spacing exactly 80
+        assert in_distance_band(a, b, 80, 100)
+
+    def test_at_upper_edge_excluded(self):
+        a, b = poly(0, 0, 20, 20), poly(120, 0, 140, 20)  # spacing exactly 100
+        assert not in_distance_band(a, b, 80, 100)
+
+    def test_rect_variant(self):
+        a, b = poly(0, 0, 20, 20), poly(110, 0, 130, 20)
+        assert in_distance_band_rects(a.to_rects(), b.to_rects(), 80, 100)

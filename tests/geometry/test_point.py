@@ -1,0 +1,64 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, as_point
+
+
+class TestPoint:
+    def test_attributes(self):
+        p = Point(3, -4)
+        assert p.x == 3
+        assert p.y == -4
+
+    def test_iteration_and_tuple(self):
+        p = Point(1, 2)
+        assert tuple(p) == (1, 2)
+        assert p.as_tuple() == (1, 2)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_ordering(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -5) == Point(4, -3)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+
+    def test_euclidean_distance(self):
+        assert Point(0, 0).euclidean_distance(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert Point(1, 1).squared_distance(Point(4, 5)) == 25
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(2, 7), Point(-3, 1)
+        assert a.euclidean_distance(b) == b.euclidean_distance(a)
+        assert a.squared_distance(b) == b.squared_distance(a)
+
+
+class TestAsPoint:
+    def test_passthrough(self):
+        p = Point(1, 2)
+        assert as_point(p) is p
+
+    def test_from_tuple(self):
+        assert as_point((3, 4)) == Point(3, 4)
+
+    def test_from_list(self):
+        assert as_point([5, 6]) == Point(5, 6)
+
+    def test_rounds_floats(self):
+        assert as_point((1.4, 2.6)) == Point(1, 3)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            as_point((1, 2, 3))

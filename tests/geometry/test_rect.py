@@ -1,0 +1,151 @@
+"""Unit tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_box, merge_touching_rects
+
+
+class TestRectConstruction:
+    def test_basic_properties(self):
+        r = Rect(0, 0, 30, 20)
+        assert r.width == 30
+        assert r.height == 20
+        assert r.area == 600
+        assert r.center == Point(15, 10)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 10)
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 10, 0)
+        with pytest.raises(GeometryError):
+            Rect(5, 5, 4, 10)
+
+    def test_corners(self):
+        corners = Rect(0, 0, 2, 3).corners()
+        assert corners == (Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3))
+
+
+class TestRectPredicates:
+    def test_contains_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(5, 5))
+        assert r.contains_point(Point(0, 10))
+        assert not r.contains_point(Point(0, 10), strict=True)
+        assert not r.contains_point(Point(11, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 100, 100)
+        assert outer.contains_rect(Rect(10, 10, 20, 20))
+        assert outer.contains_rect(outer)
+        assert not Rect(10, 10, 20, 20).contains_rect(outer)
+
+    def test_intersects_overlapping(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(5, 5, 15, 15))
+        assert Rect(0, 0, 10, 10).intersects(Rect(5, 5, 15, 15), strict=True)
+
+    def test_intersects_touching(self):
+        a, b = Rect(0, 0, 10, 10), Rect(10, 0, 20, 10)
+        assert a.intersects(b)
+        assert not a.intersects(b, strict=True)
+        assert a.touches(b)
+
+    def test_disjoint(self):
+        a, b = Rect(0, 0, 10, 10), Rect(20, 20, 30, 30)
+        assert not a.intersects(b)
+        assert not a.touches(b)
+
+
+class TestRectOperations:
+    def test_intersection(self):
+        r = Rect(0, 0, 10, 10).intersection(Rect(5, 5, 15, 15))
+        assert r == Rect(5, 5, 10, 10)
+
+    def test_intersection_empty(self):
+        assert Rect(0, 0, 10, 10).intersection(Rect(10, 0, 20, 10)) is None
+        assert Rect(0, 0, 10, 10).intersection(Rect(50, 50, 60, 60)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 10, 10).union_bbox(Rect(20, -5, 30, 5)) == Rect(0, -5, 30, 10)
+
+    def test_bloated(self):
+        assert Rect(10, 10, 20, 20).bloated(5) == Rect(5, 5, 25, 25)
+
+    def test_bloated_negative_collapse_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 10, 10).bloated(-5)
+
+    def test_translated(self):
+        assert Rect(0, 0, 5, 5).translated(10, -2) == Rect(10, -2, 15, 3)
+
+    def test_split_vertical(self):
+        left, right = Rect(0, 0, 10, 4).split_vertical(6)
+        assert left == Rect(0, 0, 6, 4)
+        assert right == Rect(6, 0, 10, 4)
+
+    def test_split_vertical_outside_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 10, 4).split_vertical(10)
+
+    def test_split_horizontal(self):
+        bottom, top = Rect(0, 0, 4, 10).split_horizontal(3)
+        assert bottom == Rect(0, 0, 4, 3)
+        assert top == Rect(0, 3, 4, 10)
+
+
+class TestRectDistance:
+    def test_overlapping_distance_zero(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(5, 5, 15, 15)) == 0.0
+
+    def test_touching_distance_zero(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(10, 0, 20, 10)) == 0.0
+
+    def test_horizontal_gap(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(25, 0, 35, 10)) == 15.0
+
+    def test_vertical_gap(self):
+        assert Rect(0, 0, 10, 10).distance(Rect(0, 18, 10, 30)) == 8.0
+
+    def test_diagonal_gap(self):
+        d = Rect(0, 0, 10, 10).distance(Rect(13, 14, 20, 20))
+        assert d == pytest.approx(5.0)
+
+    def test_squared_distance_matches(self):
+        a, b = Rect(0, 0, 10, 10), Rect(13, 14, 20, 20)
+        assert a.squared_distance(b) == 25
+        assert math.isclose(a.distance(b) ** 2, a.squared_distance(b))
+
+    def test_distance_symmetric(self):
+        a, b = Rect(0, 0, 10, 10), Rect(30, 42, 55, 60)
+        assert a.distance(b) == b.distance(a)
+
+    def test_distance_to_point(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.distance_to_point(Point(5, 5)) == 0.0
+        assert r.distance_to_point(Point(13, 14)) == pytest.approx(5.0)
+
+
+class TestRectHelpers:
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 5, 5), Rect(10, -3, 12, 2)])
+        assert box == Rect(0, -3, 12, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(GeometryError):
+            bounding_box([])
+
+    def test_merge_touching_horizontal(self):
+        merged = merge_touching_rects([Rect(0, 0, 10, 5), Rect(10, 0, 20, 5)])
+        assert merged == [Rect(0, 0, 20, 5)]
+
+    def test_merge_contained(self):
+        merged = merge_touching_rects([Rect(0, 0, 20, 20), Rect(5, 5, 10, 10)])
+        assert merged == [Rect(0, 0, 20, 20)]
+
+    def test_merge_keeps_disjoint(self):
+        rects = [Rect(0, 0, 10, 5), Rect(0, 50, 10, 55)]
+        assert sorted(merge_touching_rects(rects)) == sorted(rects)

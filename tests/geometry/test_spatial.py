@@ -1,0 +1,83 @@
+"""Unit tests for the uniform-grid spatial index."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+from repro.geometry.spatial import GridIndex, suggest_cell_size
+
+
+class TestGridIndex:
+    def test_insert_and_len(self):
+        index = GridIndex(100)
+        index.insert(0, Rect(0, 0, 10, 10))
+        index.insert(1, Rect(500, 500, 510, 510))
+        assert len(index) == 2
+        assert 0 in index and 1 in index and 2 not in index
+
+    def test_duplicate_key_raises(self):
+        index = GridIndex(100)
+        index.insert(0, Rect(0, 0, 10, 10))
+        with pytest.raises(GeometryError):
+            index.insert(0, Rect(50, 50, 60, 60))
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(GeometryError):
+            GridIndex(0)
+
+    def test_bbox_of(self):
+        index = GridIndex(100)
+        index.insert(7, Rect(0, 0, 10, 10))
+        assert index.bbox_of(7) == Rect(0, 0, 10, 10)
+        with pytest.raises(GeometryError):
+            index.bbox_of(8)
+
+    def test_query_finds_nearby(self):
+        index = GridIndex(50)
+        index.insert(0, Rect(0, 0, 10, 10))
+        index.insert(1, Rect(30, 0, 40, 10))
+        index.insert(2, Rect(500, 500, 510, 510))
+        found = index.query(Rect(0, 0, 10, 10), margin=25)
+        assert 0 in found and 1 in found and 2 not in found
+
+    def test_neighbours_excludes_self(self):
+        index = GridIndex(50)
+        index.insert(0, Rect(0, 0, 10, 10))
+        index.insert(1, Rect(15, 0, 25, 10))
+        assert index.neighbours(0, margin=10) == {1}
+
+    def test_query_is_superset_of_true_neighbours(self):
+        """Every rectangle within the margin must be returned (no false negatives)."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        rects = {}
+        index = GridIndex(60)
+        for key in range(120):
+            x = int(rng.integers(0, 2000))
+            y = int(rng.integers(0, 2000))
+            w = int(rng.integers(10, 80))
+            h = int(rng.integers(10, 80))
+            rect = Rect(x, y, x + w, y + h)
+            rects[key] = rect
+            index.insert(key, rect)
+        margin = 75
+        for key, rect in rects.items():
+            reported = index.neighbours(key, margin)
+            for other, other_rect in rects.items():
+                if other == key:
+                    continue
+                if rect.distance(other_rect) <= margin:
+                    assert other in reported, (key, other)
+
+
+class TestSuggestCellSize:
+    def test_empty_uses_margin(self):
+        assert suggest_cell_size([], 80) == 80
+
+    def test_uses_median_extent(self):
+        rects = [Rect(0, 0, 10, 10), Rect(0, 0, 100, 10), Rect(0, 0, 300, 10)]
+        assert suggest_cell_size(rects, 80) == 180
+
+    def test_positive(self):
+        assert suggest_cell_size([Rect(0, 0, 1, 1)], 0) >= 1

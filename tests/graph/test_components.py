@@ -1,0 +1,52 @@
+"""Unit tests for connected component computation."""
+
+from repro.graph.components import (
+    component_of,
+    component_size_histogram,
+    connected_components,
+    largest_component_size,
+)
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        assert connected_components(g) == [[0, 1, 2]]
+
+    def test_multiple_components(self):
+        g = DecompositionGraph.from_edges([(0, 1), (2, 3)], vertices=[7])
+        assert connected_components(g) == [[0, 1], [2, 3], [7]]
+
+    def test_stitch_edges_connect_by_default(self):
+        g = DecompositionGraph.from_edges([(0, 1)], [(1, 2)])
+        assert connected_components(g) == [[0, 1, 2]]
+
+    def test_conflict_only_ignores_stitches(self):
+        g = DecompositionGraph.from_edges([(0, 1)], [(1, 2)])
+        assert connected_components(g, conflict_only=True) == [[0, 1], [2]]
+
+    def test_empty_graph(self):
+        assert connected_components(DecompositionGraph()) == []
+
+    def test_component_of(self):
+        g = DecompositionGraph.from_edges([(0, 1), (2, 3)])
+        assert component_of(g, 3) == [2, 3]
+
+    def test_largest_component_size(self):
+        g = DecompositionGraph.from_edges([(0, 1), (1, 2), (4, 5)])
+        assert largest_component_size(g) == 3
+        assert largest_component_size(DecompositionGraph()) == 0
+
+    def test_size_histogram(self):
+        g = DecompositionGraph.from_edges([(0, 1), (2, 3), (4, 5), (6, 7), (7, 8)])
+        assert component_size_histogram(g) == {2: 3, 3: 1}
+
+    def test_components_partition_vertices(self):
+        g = DecompositionGraph.from_edges(
+            [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 5)], vertices=[10, 11]
+        )
+        comps = connected_components(g)
+        seen = [v for comp in comps for v in comp]
+        assert sorted(seen) == g.vertices()
+        assert len(seen) == len(set(seen))

@@ -1,0 +1,109 @@
+"""Unit tests for the Dinic max-flow implementation (networkx as oracle)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.maxflow import FlowNetwork, min_cut
+
+
+class TestFlowNetworkBasics:
+    def test_single_edge(self):
+        net = FlowNetwork.from_edges([(0, 1)])
+        assert net.max_flow(0, 1) == 1
+
+    def test_parallel_paths(self):
+        net = FlowNetwork.from_edges([(0, 1), (1, 3), (0, 2), (2, 3)])
+        assert net.max_flow(0, 3) == 2
+
+    def test_bottleneck(self):
+        # Two paths share the bottleneck edge (2, 3).
+        net = FlowNetwork.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert net.max_flow(0, 3) == 1
+
+    def test_disconnected_zero_flow(self):
+        net = FlowNetwork.from_edges([(0, 1)], vertices=[2])
+        assert net.max_flow(0, 2) == 0
+
+    def test_capacity_scaling(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_directed_edge(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1, undirected=False)
+        assert net.max_flow(0, 1) == 1
+        net2 = FlowNetwork()
+        net2.add_edge(0, 1, 1, undirected=False)
+        assert net2.max_flow(1, 0) == 0
+
+    def test_same_terminals_rejected(self):
+        net = FlowNetwork.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            net.max_flow(0, 0)
+
+    def test_unknown_terminal_rejected(self):
+        net = FlowNetwork.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            net.max_flow(0, 9)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(GraphError):
+            FlowNetwork().add_edge(0, 1, -1)
+
+
+class TestMinCutPartition:
+    def test_partition_separates_terminals(self):
+        net = FlowNetwork.from_edges([(0, 1), (1, 2), (2, 3)])
+        value = net.max_flow(0, 3)
+        side = net.min_cut_partition(0)
+        assert value == 1
+        assert 0 in side and 3 not in side
+
+    def test_cut_value_equals_crossing_edges(self):
+        edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]
+        value, side = min_cut(edges, 0, 4)
+        crossing = sum(1 for (u, v) in edges if (u in side) != (v in side))
+        assert crossing == value == 1
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_unit_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 12
+        edges = [
+            (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.25
+        ]
+        if not edges:
+            pytest.skip("empty random graph")
+        g = nx.Graph(edges)
+        g.add_nodes_from(range(n))
+        nx.set_edge_attributes(g, 1, "capacity")
+        source, sink = 0, n - 1
+        expected = nx.maximum_flow_value(g, source, sink, capacity="capacity")
+        net = FlowNetwork.from_edges(edges, vertices=range(n))
+        assert net.max_flow(source, sink) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_weighted_graphs(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 10
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        net = FlowNetwork()
+        for v in range(n):
+            net.add_vertex(v)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.3:
+                    cap = int(rng.integers(1, 6))
+                    g.add_edge(i, j, capacity=cap)
+                    net.add_edge(i, j, cap)
+        if g.number_of_edges() == 0:
+            pytest.skip("empty random graph")
+        expected = nx.maximum_flow_value(g, 0, n - 1, capacity="capacity")
+        assert net.max_flow(0, n - 1) == expected

@@ -1,0 +1,46 @@
+"""Unit tests for the union-find structure."""
+
+from repro.graph.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(range(3))
+        assert all(uf.find(i) == i for i in range(3))
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.connected(0, 1)
+        assert uf.connected(3, 2)
+        assert not uf.connected(0, 2)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind(range(2))
+        r1 = uf.union(0, 1)
+        r2 = uf.union(0, 1)
+        assert r1 == r2
+
+    def test_add_on_demand(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert "a" in uf and "c" not in uf
+
+    def test_groups_sorted(self):
+        uf = UnionFind(range(5))
+        uf.union(3, 1)
+        uf.union(4, 2)
+        groups = uf.groups()
+        assert groups == [[0], [1, 3], [2, 4]]
+
+    def test_path_compression_consistency(self):
+        uf = UnionFind(range(100))
+        for i in range(99):
+            uf.union(i, i + 1)
+        roots = {uf.find(i) for i in range(100)}
+        assert len(roots) == 1

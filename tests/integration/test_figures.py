@@ -1,0 +1,104 @@
+"""Figure-level reproduction checks (Figs. 1, 4, 5, 6, 7 of the paper)."""
+
+import pytest
+
+from repro.bench.cells import (
+    figure4_graph,
+    figure5_graph,
+    figure6_graph,
+    four_clique_contact_cell,
+    regular_wire_array,
+)
+from repro.core.backtrack import BacktrackColoring
+from repro.core.decomposer import Decomposer
+from repro.core.evaluation import count_conflicts
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import DecomposerOptions
+from repro.core.rotation import merge_component_colorings
+from repro.graph.construction import ConstructionOptions, build_decomposition_graph
+from repro.graph.gomory_hu import gomory_hu_tree
+
+
+class TestFigure1:
+    """The standard-cell contact 4-clique: TPL native conflict, QPL clean."""
+
+    def test_triple_patterning_cannot_decompose(self):
+        layout = four_clique_contact_cell()
+        options = DecomposerOptions.for_k_patterning(3, "backtrack")
+        options.construction.min_coloring_distance = 80
+        result = Decomposer(options).decompose(layout, layer="contact")
+        assert result.solution.conflicts >= 1
+
+    def test_quadruple_patterning_decomposes_cleanly(self):
+        layout = four_clique_contact_cell()
+        options = DecomposerOptions.for_quadruple_patterning("backtrack")
+        result = Decomposer(options).decompose(layout, layer="contact")
+        assert result.solution.conflicts == 0
+        assert len(set(result.solution.coloring.values())) == 4
+
+
+class TestFigure4:
+    """Vertex ordering pitfall and its resolution."""
+
+    def test_graph_is_four_colorable(self):
+        graph = figure4_graph()
+        coloring = BacktrackColoring(4).color(graph)
+        assert count_conflicts(graph, coloring) == 0
+
+    def test_linear_assignment_avoids_the_trap(self):
+        graph = figure4_graph()
+        coloring = LinearColoring(4).color(graph)
+        assert count_conflicts(graph, coloring) == 0
+
+
+class TestFigure5:
+    """3-cut removal and color rotation."""
+
+    def test_rotation_reconnects_without_conflicts(self):
+        graph = figure5_graph()
+        left = BacktrackColoring(4).color(graph.subgraph([0, 1, 2]))
+        right = BacktrackColoring(4).color(graph.subgraph([3, 4, 5]))
+        merged = merge_component_colorings(graph, [left, right], 4, 0.1)
+        assert count_conflicts(graph, merged) == 0
+
+
+class TestFigure6:
+    """GH-tree based division."""
+
+    def test_ghtree_split_preserves_optimal_conflicts(self):
+        graph = figure6_graph()
+        optimum = count_conflicts(graph, BacktrackColoring(4).color(graph))
+        tree = gomory_hu_tree(graph.vertices(), graph.conflict_edges())
+        parts = tree.components_below(4)
+        colorings = [
+            BacktrackColoring(4).color(graph.subgraph(part)) for part in parts
+        ]
+        merged = merge_component_colorings(graph, colorings, 4, 0.1)
+        assert count_conflicts(graph, merged) == optimum
+
+
+class TestFigure7:
+    """min_s selection: larger coloring distances densify the conflict graph."""
+
+    @pytest.mark.parametrize(
+        "min_s,expected_edges",
+        [(40, 5), (61, 9), (80, 9), (101, 12)],
+    )
+    def test_conflict_edges_grow_with_min_s(self, min_s, expected_edges):
+        layout = regular_wire_array(num_wires=6)
+        result = build_decomposition_graph(
+            layout,
+            options=ConstructionOptions(
+                min_coloring_distance=min_s, enable_stitches=False
+            ),
+        )
+        assert result.graph.num_conflict_edges == expected_edges
+
+    def test_qp_rule_keeps_wire_array_colorable(self):
+        """A 1-D array under the QP rule is a path power-2 graph: 3 colors
+        suffice, so quadruple patterning has slack for 2-D structures."""
+        layout = regular_wire_array(num_wires=8)
+        options = DecomposerOptions.for_quadruple_patterning("backtrack")
+        result = Decomposer(options).decompose(layout)
+        assert result.solution.conflicts == 0
+        assert len(set(result.solution.coloring.values())) <= 3

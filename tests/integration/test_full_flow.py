@@ -1,0 +1,124 @@
+"""Integration tests: layout in, masks out, across algorithms and K values."""
+
+import pytest
+
+from repro.bench.circuits import load_circuit
+from repro.bench.synthetic import SyntheticSpec, dense_contact_array, generate_layout
+from repro.core.decomposer import Decomposer
+from repro.core.evaluation import count_conflicts, count_stitches
+from repro.core.options import DecomposerOptions
+from repro.geometry.distance import within_distance_rects
+from repro.io.gds import read_gds, write_gds
+from repro.io.jsonio import read_json, write_json
+
+
+@pytest.fixture(scope="module")
+def small_circuit():
+    return load_circuit("C432", scale=0.5)
+
+
+class TestAlgorithmsEndToEnd:
+    @pytest.mark.parametrize("algorithm", ["linear", "greedy", "sdp-greedy", "sdp-backtrack"])
+    def test_quadruple_patterning(self, small_circuit, algorithm):
+        options = DecomposerOptions.for_quadruple_patterning(algorithm)
+        result = Decomposer(options).decompose(small_circuit)
+        graph = result.construction.graph
+        assert set(result.solution.coloring) == set(graph.vertices())
+        assert result.solution.conflicts == count_conflicts(graph, result.solution.coloring)
+        assert result.solution.stitches == count_stitches(graph, result.solution.coloring)
+
+    def test_ilp_on_tiny_circuit(self):
+        layout = generate_layout(SyntheticSpec(rows=1, row_length=1500, seed=4))
+        options = DecomposerOptions.for_quadruple_patterning("ilp")
+        options.algorithm_options.ilp_time_limit = 20.0
+        result = Decomposer(options).decompose(layout)
+        assert result.solution.conflicts >= 0
+
+    def test_pentuple_patterning_reduces_conflicts(self):
+        """More masks can only help: K=5 conflicts <= K=4 conflicts on the
+        same dense contact workload (Fig. 1 motivation generalised)."""
+        layout = dense_contact_array(4, 6)
+        quad = Decomposer(DecomposerOptions.for_quadruple_patterning("linear")).decompose(layout)
+        options5 = DecomposerOptions.for_pentuple_patterning("linear")
+        # Keep the same conflict rule so only the mask count changes.
+        options5.construction.min_coloring_distance = (
+            quad.options.construction.min_coloring_distance
+        )
+        pent = Decomposer(options5).decompose(layout)
+        assert pent.solution.conflicts <= quad.solution.conflicts
+
+
+class TestMaskValidity:
+    def test_masks_respect_spacing_rule_when_conflict_free(self, small_circuit):
+        """If the solution reports zero conflicts, no two fragments on the same
+        mask may violate the coloring distance."""
+        options = DecomposerOptions.for_quadruple_patterning("sdp-backtrack")
+        result = Decomposer(options).decompose(small_circuit)
+        graph = result.construction.graph
+        fragments = result.construction.fragments
+        min_s = options.construction.min_coloring_distance
+        violations = 0
+        vertices = graph.vertices()
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                if result.solution.coloring[u] != result.solution.coloring[v]:
+                    continue
+                same_shape = (
+                    graph.vertex_data(u).shape_id == graph.vertex_data(v).shape_id
+                )
+                if same_shape:
+                    continue
+                if within_distance_rects(fragments[u], fragments[v], min_s):
+                    violations += 1
+        assert violations == result.solution.conflicts
+
+    def test_mask_layout_preserves_total_area(self, small_circuit):
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        result = Decomposer(options).decompose(small_circuit)
+        masks = result.to_mask_layout()
+        original_area = sum(s.polygon.area for s in small_circuit)
+        mask_area = sum(s.polygon.area for s in masks)
+        assert mask_area == original_area
+
+
+class TestIoIntegration:
+    def test_gds_round_trip_then_decompose(self, tmp_path, small_circuit):
+        path = tmp_path / "circuit.gds"
+        write_gds(small_circuit, path, layer_numbers={"metal1": 1})
+        reloaded = read_gds(path, layer_map={1: "metal1"})
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        direct = Decomposer(options).decompose(small_circuit)
+        via_gds = Decomposer(options).decompose(reloaded)
+        assert via_gds.solution.conflicts == direct.solution.conflicts
+        assert via_gds.solution.stitches == direct.solution.stitches
+
+    def test_masks_written_and_read_back(self, tmp_path, small_circuit):
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        result = Decomposer(options).decompose(small_circuit)
+        masks = result.to_mask_layout()
+        json_path = tmp_path / "masks.json"
+        gds_path = tmp_path / "masks.gds"
+        write_json(masks, json_path)
+        write_gds(masks, gds_path)
+        assert len(read_json(json_path)) == len(masks)
+        assert len(read_gds(gds_path)) == len(masks)
+
+
+class TestGeneralK:
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_conflicts_monotone_in_k(self, k):
+        """Section 5: the framework works for any K, and more masks never hurt
+        (fixed conflict rule)."""
+        layout = dense_contact_array(4, 5)
+        options = DecomposerOptions.for_k_patterning(k, "linear")
+        options.construction.min_coloring_distance = 80
+        result = Decomposer(options).decompose(layout)
+        assert result.solution.num_colors == k
+        if not hasattr(self, "_previous"):
+            self._previous = {}
+        # store per-test-instance is unreliable under pytest; recompute instead
+        if k > 4:
+            smaller = DecomposerOptions.for_k_patterning(k - 1, "linear")
+            smaller.construction.min_coloring_distance = 80
+            previous = Decomposer(smaller).decompose(layout)
+            assert result.solution.conflicts <= previous.solution.conflicts

@@ -1,0 +1,132 @@
+"""Unit tests for the GDSII stream reader/writer."""
+
+import struct
+
+import pytest
+
+from repro.errors import LayoutIOError
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.io.gds import (
+    _decode_real8,
+    _encode_real8,
+    read_gds,
+    write_gds,
+)
+
+
+class TestReal8:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 1e-9, 2.5e-3, 123456.0, -0.001])
+    def test_round_trip(self, value):
+        decoded = _decode_real8(_encode_real8(value))
+        assert decoded == pytest.approx(value, rel=1e-12, abs=1e-300)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(LayoutIOError):
+            _decode_real8(b"\x00\x00")
+
+
+class TestGdsRoundTrip:
+    def _sample_layout(self) -> Layout:
+        layout = Layout(name="SAMPLE")
+        layout.add_rect(Rect(0, 0, 100, 20), layer="metal1")
+        layout.add_rect(Rect(0, 60, 100, 80), layer="metal1")
+        layout.add_polygon(
+            Polygon.from_points(
+                [(200, 0), (260, 0), (260, 40), (230, 40), (230, 90), (200, 90)]
+            ),
+            layer="metal2",
+        )
+        return layout
+
+    def test_round_trip_shape_count(self, tmp_path):
+        layout = self._sample_layout()
+        path = tmp_path / "sample.gds"
+        write_gds(layout, path)
+        loaded = read_gds(path, layer_map={1: "metal1", 2: "metal2"})
+        assert len(loaded) == len(layout)
+        assert loaded.name == "SAMPLE"
+
+    def test_round_trip_geometry(self, tmp_path):
+        layout = self._sample_layout()
+        path = tmp_path / "sample.gds"
+        write_gds(layout, path)
+        loaded = read_gds(path, layer_map={1: "metal1", 2: "metal2"})
+        original_areas = sorted(s.polygon.area for s in layout)
+        loaded_areas = sorted(s.polygon.area for s in loaded)
+        assert original_areas == loaded_areas
+        original_bbox = layout.bbox()
+        assert loaded.bbox() == original_bbox
+
+    def test_round_trip_layers(self, tmp_path):
+        layout = self._sample_layout()
+        path = tmp_path / "sample.gds"
+        write_gds(layout, path, layer_numbers={"metal1": 7, "metal2": 8})
+        loaded = read_gds(path, layer_map={7: "metal1", 8: "metal2"})
+        assert loaded.layers() == ["metal1", "metal2"]
+        assert loaded.count_on_layer("metal1") == 2
+
+    def test_unmapped_layer_gets_default_name(self, tmp_path):
+        layout = Layout(name="X")
+        layout.add_rect(Rect(0, 0, 10, 10), layer="metal1")
+        path = tmp_path / "x.gds"
+        write_gds(layout, path, layer_numbers={"metal1": 42})
+        loaded = read_gds(path)
+        assert loaded.layers() == ["gds42"]
+
+    def test_units_round_trip(self, tmp_path):
+        layout = Layout(name="U", dbu_per_nm=1.0)
+        layout.add_rect(Rect(0, 0, 10, 10))
+        path = tmp_path / "u.gds"
+        write_gds(layout, path)
+        loaded = read_gds(path)
+        assert loaded.dbu_per_nm == pytest.approx(1.0, rel=1e-6)
+
+
+class TestGdsErrors:
+    def test_truncated_stream_raises(self, tmp_path):
+        layout = Layout(name="T")
+        layout.add_rect(Rect(0, 0, 10, 10))
+        path = tmp_path / "t.gds"
+        write_gds(layout, path)
+        data = path.read_bytes()
+        bad = tmp_path / "bad.gds"
+        bad.write_bytes(data[: len(data) - 7] + b"\xff")
+        with pytest.raises(LayoutIOError):
+            read_gds(bad)
+
+    def test_empty_file_gives_empty_layout(self, tmp_path):
+        path = tmp_path / "empty.gds"
+        path.write_bytes(b"")
+        layout = read_gds(path)
+        assert len(layout) == 0
+
+
+class TestGdsPath:
+    def test_path_element_expanded_to_rectangles(self, tmp_path):
+        # Hand-build a tiny GDS with a PATH element.
+        from repro.io import gds as g
+
+        records = [
+            g._encode_record(g.HEADER, 0x02, [600]),
+            g._encode_record(g.BGNLIB, 0x02, [2014, 6, 1, 0, 0, 0] * 2),
+            g._encode_record(g.LIBNAME, 0x06, "LIB"),
+            g._encode_record(g.UNITS, 0x05, [1e-3, 1e-9]),
+            g._encode_record(g.BGNSTR, 0x02, [2014, 6, 1, 0, 0, 0] * 2),
+            g._encode_record(g.STRNAME, 0x06, "TOP"),
+            g._encode_record(g.PATH, 0x00, b""),
+            g._encode_record(g.LAYER, 0x02, [1]),
+            g._encode_record(g.DATATYPE, 0x02, [0]),
+            g._encode_record(g.WIDTH, 0x03, [20]),
+            g._encode_record(g.XY, 0x03, [0, 0, 200, 0]),
+            g._encode_record(g.ENDEL, 0x00, b""),
+            g._encode_record(g.ENDSTR, 0x00, b""),
+            g._encode_record(g.ENDLIB, 0x00, b""),
+        ]
+        path = tmp_path / "path.gds"
+        path.write_bytes(b"".join(records))
+        layout = read_gds(path, layer_map={1: "metal1"})
+        assert len(layout) == 1
+        shape = next(iter(layout))
+        assert shape.polygon.bbox == Rect(-10, -10, 210, 10)

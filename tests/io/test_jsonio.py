@@ -1,0 +1,53 @@
+"""Unit tests for the JSON layout format."""
+
+import pytest
+
+from repro.errors import LayoutIOError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.io.jsonio import dumps, loads, read_json, write_json
+
+
+def sample_layout() -> Layout:
+    layout = Layout(name="json-sample")
+    layout.add_rect(Rect(0, 0, 100, 20), layer="metal1")
+    layout.add_rect(Rect(0, 60, 100, 80), layer="contact")
+    return layout
+
+
+class TestJsonRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        layout = sample_layout()
+        path = tmp_path / "layout.json"
+        write_json(layout, path)
+        loaded = read_json(path)
+        assert loaded.name == layout.name
+        assert len(loaded) == len(layout)
+        assert loaded.layers() == layout.layers()
+        assert loaded.bbox() == layout.bbox()
+
+    def test_string_round_trip(self):
+        layout = sample_layout()
+        clone = loads(dumps(layout))
+        assert [s.polygon.vertices for s in clone] == [s.polygon.vertices for s in layout]
+
+    def test_output_is_deterministic(self):
+        assert dumps(sample_layout()) == dumps(sample_layout())
+
+
+class TestJsonErrors:
+    def test_missing_marker_rejected(self, tmp_path):
+        path = tmp_path / "notalayout.json"
+        path.write_text('{"shapes": []}')
+        with pytest.raises(LayoutIOError):
+            read_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(LayoutIOError):
+            read_json(path)
+
+    def test_loads_requires_marker(self):
+        with pytest.raises(LayoutIOError):
+            loads('{"shapes": []}')

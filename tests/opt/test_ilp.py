@@ -1,0 +1,125 @@
+"""Unit tests for the 0-1 branch-and-bound ILP solver."""
+
+import itertools
+
+import pytest
+
+from repro.errors import SolverError
+from repro.opt.ilp import BranchAndBoundSolver, IntegerProgram, LinearConstraint
+
+
+def brute_force(program: IntegerProgram):
+    """Reference optimum by enumerating all 0/1 assignments."""
+    names = program.variable_names()
+    best = None
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        values = dict(zip(names, bits))
+        if not program.is_feasible(values):
+            continue
+        objective = program.evaluate(values)
+        if best is None or objective < best:
+            best = objective
+    return best
+
+
+class TestIntegerProgram:
+    def test_duplicate_variable_rejected(self):
+        program = IntegerProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_variable("x")
+
+    def test_unknown_variable_rejected(self):
+        program = IntegerProgram()
+        with pytest.raises(SolverError):
+            program.add_constraint({"y": 1.0}, "<=", 1.0)
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(SolverError):
+            LinearConstraint({0: 1.0}, "<", 1.0)
+
+    def test_feasibility_check(self):
+        program = IntegerProgram()
+        program.add_variable("a")
+        program.add_variable("b")
+        program.add_constraint({"a": 1.0, "b": 1.0}, "<=", 1.0)
+        assert program.is_feasible({"a": 1, "b": 0})
+        assert not program.is_feasible({"a": 1, "b": 1})
+
+    def test_evaluate(self):
+        program = IntegerProgram()
+        program.add_variable("a", objective=2.0)
+        program.add_variable("b", objective=3.0)
+        assert program.evaluate({"a": 1, "b": 1}) == 5.0
+
+
+class TestBranchAndBound:
+    def test_vertex_cover_triangle(self):
+        """Minimum vertex cover of a triangle has size 2."""
+        program = IntegerProgram()
+        for name in "abc":
+            program.add_variable(name, objective=1.0)
+        for u, v in [("a", "b"), ("b", "c"), ("a", "c")]:
+            program.add_constraint({u: 1.0, v: 1.0}, ">=", 1.0)
+        result = BranchAndBoundSolver().solve(program)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+        assert sum(result.values.values()) == 2
+
+    def test_set_packing(self):
+        """Pick at most one variable per pair; maximise total weight."""
+        program = IntegerProgram()
+        program.add_variable("a", objective=-5.0)
+        program.add_variable("b", objective=-4.0)
+        program.add_variable("c", objective=-3.0)
+        program.add_constraint({"a": 1.0, "b": 1.0}, "<=", 1.0)
+        program.add_constraint({"b": 1.0, "c": 1.0}, "<=", 1.0)
+        result = BranchAndBoundSolver().solve(program)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-8.0)  # a and c
+        assert result.values == {"a": 1, "b": 0, "c": 1}
+
+    def test_infeasible_model(self):
+        program = IntegerProgram()
+        program.add_variable("x")
+        program.add_constraint({"x": 1.0}, ">=", 2.0)
+        result = BranchAndBoundSolver().solve(program)
+        assert result.status == "infeasible"
+        assert not result.has_solution
+
+    def test_equality_constraints(self):
+        program = IntegerProgram()
+        for i in range(3):
+            program.add_variable(f"x{i}", objective=float(i + 1))
+        program.add_constraint({f"x{i}": 1.0 for i in range(3)}, "==", 2.0)
+        result = BranchAndBoundSolver().solve(program)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(3.0)  # x0 + x1
+
+    def test_time_limit_returns_feasible_or_timeout(self):
+        """A tiny budget still yields a well-formed result object."""
+        program = IntegerProgram()
+        for i in range(14):
+            program.add_variable(f"x{i}", objective=1.0)
+        for i in range(13):
+            program.add_constraint({f"x{i}": 1.0, f"x{i+1}": 1.0}, ">=", 1.0)
+        result = BranchAndBoundSolver(time_limit=0.0).solve(program)
+        assert result.status in ("optimal", "feasible", "timeout")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_on_random_covers(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = 7
+        program = IntegerProgram()
+        for i in range(n):
+            program.add_variable(f"v{i}", objective=float(rng.integers(1, 5)))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.4:
+                    program.add_constraint({f"v{i}": 1.0, f"v{j}": 1.0}, ">=", 1.0)
+        result = BranchAndBoundSolver().solve(program)
+        expected = brute_force(program)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(expected)

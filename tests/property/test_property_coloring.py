@@ -1,0 +1,107 @@
+"""Property-based tests for the color-assignment algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backtrack import BacktrackColoring
+from repro.core.division import divide_and_color
+from repro.core.evaluation import check_complete, count_conflicts, count_stitches, evaluate
+from repro.core.greedy_coloring import GreedyColoring
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import DivisionOptions
+from repro.core.rotation import rotate_coloring
+from repro.graph.decomposition_graph import DecompositionGraph
+
+
+@st.composite
+def decomposition_graphs(draw, max_vertices=10):
+    """Random small decomposition graphs with conflict and stitch edges."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    conflict = []
+    stitch = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            kind = draw(st.sampled_from(["none", "none", "none", "conflict", "stitch"]))
+            if kind == "conflict":
+                conflict.append((i, j))
+            elif kind == "stitch":
+                stitch.append((i, j))
+    return DecompositionGraph.from_edges(conflict, stitch, vertices=range(n))
+
+
+@st.composite
+def sparse_graphs(draw, max_vertices=12, max_degree=3):
+    """Graphs whose conflict degree stays below 4 (always QP-colorable)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    degree = {i: 0 for i in range(n)}
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if degree[i] >= max_degree or degree[j] >= max_degree:
+                continue
+            if draw(st.booleans()):
+                edges.append((i, j))
+                degree[i] += 1
+                degree[j] += 1
+    return DecompositionGraph.from_edges(edges, vertices=range(n))
+
+
+ALGORITHMS = [LinearColoring, GreedyColoring, BacktrackColoring]
+
+
+class TestColoringValidity:
+    @settings(max_examples=40, deadline=None)
+    @given(decomposition_graphs(), st.sampled_from(ALGORITHMS), st.integers(3, 5))
+    def test_every_algorithm_colors_every_vertex(self, graph, algorithm_cls, k):
+        coloring = algorithm_cls(k).color(graph)
+        check_complete(graph, coloring, k)
+
+    @settings(max_examples=40, deadline=None)
+    @given(decomposition_graphs(), st.sampled_from(ALGORITHMS))
+    def test_division_wrapper_preserves_validity(self, graph, algorithm_cls):
+        coloring = divide_and_color(graph, algorithm_cls(4))
+        check_complete(graph, coloring, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_graphs())
+    def test_linear_coloring_is_conflict_free_on_sparse_graphs(self, graph):
+        """Graphs with conflict degree < 4 are fully peeled; the reinsertion
+        guarantee makes the result conflict free."""
+        coloring = LinearColoring(4).color(graph)
+        assert count_conflicts(graph, coloring) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(decomposition_graphs(max_vertices=7))
+    def test_backtrack_is_never_beaten_by_heuristics(self, graph):
+        """The exact search yields the minimum cost among all algorithms."""
+        exact_cost = evaluate(graph, BacktrackColoring(4).color(graph), 0.1).cost
+        for algorithm_cls in (LinearColoring, GreedyColoring):
+            heuristic_cost = evaluate(graph, algorithm_cls(4).color(graph), 0.1).cost
+            assert exact_cost <= heuristic_cost + 1e-9
+
+
+class TestRotationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(decomposition_graphs(), st.integers(0, 3))
+    def test_rotation_preserves_costs(self, graph, offset):
+        coloring = GreedyColoring(4).color(graph)
+        rotated = rotate_coloring(coloring, offset, 4)
+        assert count_conflicts(graph, rotated) == count_conflicts(graph, coloring)
+        assert count_stitches(graph, rotated) == count_stitches(graph, coloring)
+
+
+class TestDivisionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(decomposition_graphs())
+    def test_division_never_hurts_exact_coloring(self, graph):
+        """With an exact per-piece colorer, enabling the division pipeline must
+        not increase the conflict count (Lemma 1 / Theorem 2)."""
+        division_on = divide_and_color(
+            graph, BacktrackColoring(4), division=DivisionOptions()
+        )
+        division_off = divide_and_color(
+            graph, BacktrackColoring(4), division=DivisionOptions().all_disabled()
+        )
+        assert count_conflicts(graph, division_on) <= count_conflicts(
+            graph, division_off
+        )

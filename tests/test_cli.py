@@ -1,0 +1,100 @@
+"""Unit tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.io.jsonio import read_json, write_json
+
+
+@pytest.fixture
+def layout_file(tmp_path):
+    layout = Layout(name="cli-sample")
+    for i in range(4):
+        layout.add_rect(Rect(0, i * 40, 300, i * 40 + 20), layer="metal1")
+    path = tmp_path / "sample.json"
+    write_json(layout, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_defaults(self):
+        args = build_parser().parse_args(["decompose", "x.json"])
+        assert args.colors == 4
+        assert args.algorithm == "sdp-backtrack"
+
+
+class TestDecomposeCommand:
+    def test_decompose_json(self, layout_file, capsys):
+        exit_code = main(["decompose", str(layout_file), "--algorithm", "linear"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "conflicts=" in captured
+        assert "mask balance" in captured
+
+    def test_decompose_writes_masks(self, layout_file, tmp_path, capsys):
+        output = tmp_path / "masks.json"
+        exit_code = main(
+            [
+                "decompose",
+                str(layout_file),
+                "--algorithm",
+                "linear",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        masks = read_json(output)
+        assert all(layer.startswith("mask") for layer in masks.layers())
+
+    def test_decompose_gds_output(self, layout_file, tmp_path):
+        output = tmp_path / "masks.gds"
+        assert main(
+            ["decompose", str(layout_file), "--algorithm", "greedy", "--output", str(output)]
+        ) == 0
+        assert output.exists() and output.stat().st_size > 0
+
+    def test_decompose_pentuple(self, layout_file, capsys):
+        assert main(
+            ["decompose", str(layout_file), "--colors", "5", "--algorithm", "linear"]
+        ) == 0
+        assert "K=5" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        missing.write_text("{}")
+        exit_code = main(["decompose", str(missing)])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats(self, layout_file, capsys):
+        assert main(["stats", str(layout_file)]) == 0
+        out = capsys.readouterr().out
+        assert "metal1" in out and "4 shapes" in out
+
+
+class TestGenerateCommand:
+    def test_generate_json(self, tmp_path, capsys):
+        output = tmp_path / "c432.json"
+        exit_code = main(
+            ["generate", "C432", "--scale", "0.25", "--output", str(output)]
+        )
+        assert exit_code == 0
+        layout = read_json(output)
+        assert len(layout) > 0
+
+    def test_generate_unknown_circuit(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate", "NOPE", "--output", str(tmp_path / "x.json")]
+        )
+        assert exit_code == 1
