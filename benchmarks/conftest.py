@@ -2,9 +2,12 @@
 
 Every benchmark runs the color-assignment stage on a pre-built decomposition
 graph, mirroring how the paper reports CPU time (color assignment only, graph
-construction excluded).  Circuit sizes are controlled by the
-``REPRO_BENCH_SCALE`` environment variable (default 0.25) so the full suite
-stays laptop-friendly; set it to 1.0 to run the full-size synthetic circuits.
+construction excluded).  Layout and graph construction is delegated to the
+shared factory in :mod:`repro.bench.factory` — the same helpers the unit-test
+suite uses — so the two harnesses can never drift apart.  Circuit sizes are
+controlled by the ``REPRO_BENCH_SCALE`` environment variable (default 0.25)
+so the full suite stays laptop-friendly; set it to 1.0 to run the full-size
+synthetic circuits.
 
 Quality numbers (conflict and stitch counts) are attached to each benchmark's
 ``extra_info`` so the JSON output of ``pytest-benchmark`` contains everything
@@ -13,31 +16,11 @@ needed to rebuild the paper's tables.
 
 from __future__ import annotations
 
-import os
-from typing import Dict, Tuple
-
 import pytest
 
-from repro.experiments.runner import build_graph_for_circuit
-from repro.graph.construction import ConstructionResult
+from repro.bench.factory import bench_scale, circuit_graph
 
-
-def bench_scale() -> float:
-    """Circuit scale factor used by the benchmarks."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
-
-
-_GRAPH_CACHE: Dict[Tuple[str, int, float], ConstructionResult] = {}
-
-
-def circuit_graph(circuit: str, num_colors: int) -> ConstructionResult:
-    """Build (and cache) the decomposition graph of a benchmark circuit."""
-    key = (circuit, num_colors, bench_scale())
-    if key not in _GRAPH_CACHE:
-        _GRAPH_CACHE[key] = build_graph_for_circuit(
-            circuit, num_colors, scale=bench_scale()
-        )
-    return _GRAPH_CACHE[key]
+__all__ = ["bench_scale", "circuit_graph"]
 
 
 @pytest.fixture

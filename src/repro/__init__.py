@@ -7,6 +7,14 @@ tree (K-1)-cut removal with color rotation) and four color-assignment
 algorithms (exact ILP, SDP + backtrack, SDP + greedy, linear color
 assignment), generalised to any K >= 4.
 
+On top of the paper's flow sits an execution runtime (:mod:`repro.runtime`)
+that exploits the independence of divided components: ``workers=N`` colors
+components across a process pool (largest-first, deterministic merge,
+automatic serial fallback) and a :class:`ComponentCache` memoises solved
+components under a canonical graph hash, so cells repeated within or across
+layouts are solved once.  Both knobs are pure execution strategies — masks,
+conflict counts and stitch counts stay bit-identical to the serial flow.
+
 Quick start::
 
     from repro import Decomposer, DecomposerOptions
@@ -16,6 +24,16 @@ Quick start::
     options = DecomposerOptions.for_quadruple_patterning(algorithm="linear")
     result = Decomposer(options).decompose(layout, layer="metal1")
     print(result.solution.summary())
+
+Batch decomposition of many layouts with shared workers and cache::
+
+    from repro import decompose_many
+
+    batch = decompose_many({"a": layout_a, "b": layout_b}, workers=4)
+    print(batch.aggregate_summary())
+
+The same batch engine backs the ``repro-decompose batch`` CLI subcommand and
+the ``--workers`` / ``--cache`` flags of ``python -m repro.experiments``.
 """
 
 from repro.errors import (
@@ -51,6 +69,14 @@ from repro.core import (
     decompose_layout,
     divide_and_color,
     make_colorer,
+)
+from repro.runtime import (
+    BatchResult,
+    CacheStats,
+    ComponentCache,
+    ComponentScheduler,
+    decompose_many,
+    schedule_and_color,
 )
 from repro.analysis import (
     conflict_report,
@@ -101,6 +127,13 @@ __all__ = [
     "LinearColoring",
     "BacktrackColoring",
     "GreedyColoring",
+    # runtime
+    "BatchResult",
+    "CacheStats",
+    "ComponentCache",
+    "ComponentScheduler",
+    "decompose_many",
+    "schedule_and_color",
     # analysis
     "mask_balance",
     "conflict_report",

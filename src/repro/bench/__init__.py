@@ -22,8 +22,22 @@ from repro.bench.circuits import (
     circuit_spec,
     load_circuit,
 )
+from repro.bench.factory import (
+    bench_scale,
+    circuit_graph,
+    clear_graph_cache,
+    random_layout,
+    repeated_cell_layout,
+    wire_row_layout,
+)
 
 __all__ = [
+    "bench_scale",
+    "circuit_graph",
+    "clear_graph_cache",
+    "random_layout",
+    "repeated_cell_layout",
+    "wire_row_layout",
     "figure4_graph",
     "figure5_graph",
     "figure6_graph",

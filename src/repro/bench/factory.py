@@ -1,0 +1,80 @@
+"""Shared layout/graph factory used by the test suite and the benchmarks.
+
+Before this module existed, ``tests/conftest.py`` and ``benchmarks/conftest.py``
+each rebuilt their own layouts and decomposition graphs; the helpers below are
+the single source for both, plus for the runtime test-harness workloads
+(repeated-cell layouts for cache tests, seeded random layouts for the
+parallel/serial determinism tests).
+
+``circuit_graph`` memoises constructed graphs per (circuit, K, scale) —
+graph construction dominates the cost of benchmark setup, and the paper's CPU
+column measures color assignment only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.bench.cells import four_clique_contact_cell, regular_wire_array
+from repro.bench.synthetic import random_rectangles
+from repro.geometry.layout import Layout
+from repro.graph.construction import ConstructionResult
+
+#: Default circuit scale for benchmarks; override with ``REPRO_BENCH_SCALE``.
+DEFAULT_BENCH_SCALE = 0.25
+
+
+def bench_scale() -> float:
+    """Circuit scale factor used by the benchmark harness."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", str(DEFAULT_BENCH_SCALE)))
+
+
+_GRAPH_CACHE: Dict[Tuple[str, int, float], ConstructionResult] = {}
+
+
+def circuit_graph(
+    circuit: str, num_colors: int, scale: Optional[float] = None
+) -> ConstructionResult:
+    """Build (and memoise) the decomposition graph of a benchmark circuit."""
+    from repro.experiments.runner import build_graph_for_circuit
+
+    effective_scale = bench_scale() if scale is None else scale
+    key = (circuit, num_colors, effective_scale)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = build_graph_for_circuit(
+            circuit, num_colors, scale=effective_scale
+        )
+    return _GRAPH_CACHE[key]
+
+
+def clear_graph_cache() -> None:
+    """Drop every memoised construction (test isolation helper)."""
+    _GRAPH_CACHE.clear()
+
+
+def wire_row_layout(num_wires: int = 3, wire_length: int = 400) -> Layout:
+    """Parallel wires at minimum pitch — the simplest conflict-chain layout."""
+    layout = regular_wire_array(num_wires=num_wires, wire_length=wire_length)
+    layout.name = "wire-row"
+    return layout
+
+
+def repeated_cell_layout(
+    copies: int = 4, cell_pitch: int = 1000, layer: str = "contact"
+) -> Layout:
+    """A row of identical Fig. 1 contact cells, far enough apart to stay
+    independent components — the canonical cache-hit workload."""
+    layout = Layout(name="repeated-cells")
+    for index in range(copies):
+        cell = four_clique_contact_cell(origin=(index * cell_pitch, 0))
+        # The cell always draws on "contact"; re-emit onto the requested layer.
+        for shape in cell.shapes_on_layer("contact"):
+            for rect in shape.rects():
+                layout.add_rect(rect, layer=layer)
+    return layout
+
+
+def random_layout(count: int = 60, seed: int = 7, region: int = 3000) -> Layout:
+    """Seeded random-rectangle layout for determinism/property tests."""
+    return random_rectangles(count, region=region, seed=seed, name=f"random-{seed}")

@@ -95,20 +95,37 @@ class DecompositionResult:
 
 
 class Decomposer:
-    """End-to-end K-patterning layout decomposer."""
+    """End-to-end K-patterning layout decomposer.
+
+    ``decompose`` accepts optional execution knobs: ``workers`` colors the
+    divided components across a process pool (``N >= 2`` processes, ``0`` =
+    one per CPU) and ``cache`` memoises solved components across calls via a
+    :class:`repro.runtime.cache.ComponentCache`.  Both are pure execution
+    strategies — masks, conflict counts and stitch counts are bit-identical
+    to the default serial path.
+    """
 
     def __init__(self, options: Optional[DecomposerOptions] = None) -> None:
         self.options = options or DecomposerOptions()
         self.options.validate()
 
     # ------------------------------------------------------------------ API
-    def decompose(self, layout: Layout, layer: str = "metal1") -> DecompositionResult:
+    def decompose(
+        self,
+        layout: Layout,
+        layer: str = "metal1",
+        workers: Optional[int] = None,
+        cache=None,
+        executor=None,
+    ) -> DecompositionResult:
         """Decompose one layer of ``layout`` into K masks."""
         start_total = time.perf_counter()
         construction = build_decomposition_graph(
             layout, layer=layer, options=self.options.construction
         )
-        solution, report = self._solve(construction.graph)
+        solution, report = self._solve(
+            construction.graph, workers=workers, cache=cache, executor=executor
+        )
         solution.total_seconds = time.perf_counter() - start_total
         return DecompositionResult(
             solution=solution,
@@ -117,14 +134,26 @@ class Decomposer:
             options=self.options,
         )
 
-    def decompose_graph(self, graph: DecompositionGraph) -> DecompositionSolution:
+    def decompose_graph(
+        self,
+        graph: DecompositionGraph,
+        workers: Optional[int] = None,
+        cache=None,
+        executor=None,
+    ) -> DecompositionSolution:
         """Color an already-constructed decomposition graph."""
-        solution, _ = self._solve(graph)
+        solution, _ = self._solve(graph, workers=workers, cache=cache, executor=executor)
         solution.total_seconds = solution.color_assignment_seconds
         return solution
 
     # ------------------------------------------------------------ internals
-    def _solve(self, graph: DecompositionGraph):
+    def _solve(
+        self,
+        graph: DecompositionGraph,
+        workers: Optional[int] = None,
+        cache=None,
+        executor=None,
+    ):
         colorer = make_colorer(
             self.options.algorithm,
             self.options.num_colors,
@@ -132,9 +161,26 @@ class Decomposer:
         )
         report = DivisionReport()
         start = time.perf_counter()
-        coloring = divide_and_color(
-            graph, colorer, division=self.options.division, report=report
-        )
+        if workers not in (None, 1) or cache is not None or executor is not None:
+            # Runtime path: same per-component work, scheduled across
+            # processes and/or replayed from the component cache.
+            from repro.runtime.scheduler import schedule_and_color
+
+            coloring = schedule_and_color(
+                graph,
+                self.options.algorithm,
+                self.options.num_colors,
+                self.options.algorithm_options,
+                self.options.division,
+                workers=workers,
+                cache=cache,
+                report=report,
+                executor=executor,
+            )
+        else:
+            coloring = divide_and_color(
+                graph, colorer, division=self.options.division, report=report
+            )
         elapsed = time.perf_counter() - start
         check_complete(graph, coloring, self.options.num_colors)
         solution = DecompositionSolution(

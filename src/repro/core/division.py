@@ -43,6 +43,34 @@ class DivisionReport:
         self.colored_pieces += 1
         self.largest_colored_piece = max(self.largest_colored_piece, size)
 
+    def merge_from(self, other: "DivisionReport") -> None:
+        """Fold a per-component report delta into this aggregate.
+
+        Counters add, the largest-piece watermark takes the max; the
+        whole-graph fields (``num_vertices``, ``num_connected_components``)
+        belong to the aggregate and are left untouched.  Addition and max are
+        order-independent, which is what lets the parallel scheduler merge
+        per-component reports in any completion order and still match the
+        serial pipeline exactly.
+        """
+        self.peeled_vertices += other.peeled_vertices
+        self.num_biconnected_blocks += other.num_biconnected_blocks
+        self.num_ghtree_parts += other.num_ghtree_parts
+        self.colored_pieces += other.colored_pieces
+        self.largest_colored_piece = max(
+            self.largest_colored_piece, other.largest_colored_piece
+        )
+
+    def component_delta(self) -> "DivisionReport":
+        """Return a copy holding only the per-component counters."""
+        return DivisionReport(
+            peeled_vertices=self.peeled_vertices,
+            num_biconnected_blocks=self.num_biconnected_blocks,
+            num_ghtree_parts=self.num_ghtree_parts,
+            colored_pieces=self.colored_pieces,
+            largest_colored_piece=self.largest_colored_piece,
+        )
+
 
 def divide_and_color(
     graph: DecompositionGraph,
@@ -70,19 +98,26 @@ def divide_and_color(
     coloring: Dict[int, int] = {}
     for component in components:
         subgraph = graph.subgraph(component)
-        coloring.update(_color_component(subgraph, colorer, division, report))
+        coloring.update(color_component(subgraph, colorer, division, report))
     return coloring
 
 
 # ---------------------------------------------------------------------------
 # Stage 2: low-degree peeling
 # ---------------------------------------------------------------------------
-def _color_component(
+def color_component(
     graph: DecompositionGraph,
     colorer: ColoringAlgorithm,
     division: DivisionOptions,
     report: DivisionReport,
 ) -> Dict[int, int]:
+    """Color one connected component through stages 2-4 of the division flow.
+
+    This is the unit of work shared by the serial loop above and the
+    process-level scheduler in :mod:`repro.runtime.scheduler`: a component is
+    self-contained, so coloring it never reads or writes state outside
+    ``graph`` and the per-call ``report``.
+    """
     num_colors = colorer.num_colors
     if division.low_degree_removal:
         kernel, stack = peel_low_degree_vertices(graph, num_colors)

@@ -32,6 +32,19 @@ def main(argv=None) -> int:
         default=30.0,
         help="per-component ILP budget in seconds (table1 only)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for component coloring (1 = serial, 0 = one per CPU); "
+        "table numbers are identical, only CPU time changes",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="share a component cache per algorithm across circuits "
+        "(repeated cells are solved once)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-row progress")
     args = parser.parse_args(argv)
 
@@ -41,10 +54,16 @@ def main(argv=None) -> int:
             scale=args.scale,
             ilp_time_limit=args.ilp_time_limit,
             verbose=not args.quiet,
+            workers=args.workers,
+            use_cache=args.cache,
         )
     else:
         table = run_table2(
-            circuits=args.circuits, scale=args.scale, verbose=not args.quiet
+            circuits=args.circuits,
+            scale=args.scale,
+            verbose=not args.quiet,
+            workers=args.workers,
+            use_cache=args.cache,
         )
     print()
     print(format_table(table))

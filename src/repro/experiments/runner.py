@@ -113,19 +113,54 @@ def run_algorithm(
     circuit: str = "?",
     ilp_time_limit: Optional[float] = 30.0,
     division: Optional[DivisionOptions] = None,
+    workers: Optional[int] = None,
+    cache=None,
+    executor=None,
 ) -> ExperimentRow:
-    """Run one color-assignment algorithm on a prepared graph and score it."""
+    """Run one color-assignment algorithm on a prepared graph and score it.
+
+    ``workers`` >= 2 colors the divided components across a process pool and
+    ``cache`` (a :class:`repro.runtime.cache.ComponentCache`) memoises solved
+    components; both keep the reported conflict/stitch numbers bit-identical
+    to the serial run, only the CPU column changes.  ``executor`` lets a
+    table sweep reuse one pool across cells so pool start-up never pollutes
+    the timed region.
+    """
     algorithm_options = AlgorithmOptions(ilp_time_limit=ilp_time_limit)
-    colorer = make_colorer(algorithm, num_colors, algorithm_options)
     division = division or DivisionOptions()
 
-    start = time.perf_counter()
-    coloring = divide_and_color(graph, colorer, division=division)
-    elapsed = time.perf_counter() - start
+    timeouts = 0
+    if workers not in (None, 1) or cache is not None or executor is not None:
+        from repro.runtime.scheduler import ComponentScheduler
+
+        scheduler = ComponentScheduler(
+            algorithm,
+            num_colors,
+            algorithm_options,
+            division,
+            workers=workers,
+            cache=cache,
+            executor=executor,
+        )
+        start = time.perf_counter()
+        try:
+            outcome = scheduler.run(graph)
+            elapsed = time.perf_counter() - start
+        finally:
+            scheduler.close()
+        coloring = outcome.coloring
+        timeouts = outcome.solver_timeouts
+    else:
+        colorer = make_colorer(algorithm, num_colors, algorithm_options)
+        start = time.perf_counter()
+        coloring = divide_and_color(graph, colorer, division=division)
+        elapsed = time.perf_counter() - start
+        if isinstance(colorer, IlpColoring):
+            timeouts = colorer.timeouts
     check_complete(graph, coloring, num_colors)
 
     status = "ok"
-    if isinstance(colorer, IlpColoring) and colorer.timeouts > 0:
+    if algorithm == "ilp" and timeouts > 0:
         status = "timeout"
     return ExperimentRow(
         circuit=circuit,
@@ -149,23 +184,55 @@ def run_table(
     ilp_time_limit: Optional[float] = 30.0,
     name: str = "table",
     verbose: bool = False,
+    workers: Optional[int] = None,
+    use_cache: bool = False,
 ) -> ExperimentTable:
-    """Run a full circuits x algorithms sweep."""
+    """Run a full circuits x algorithms sweep.
+
+    ``workers`` >= 2 parallelises the component coloring of every cell of the
+    table with one process pool shared by the whole sweep; ``use_cache``
+    shares one component cache across every cell (the canonical key already
+    fingerprints algorithm, K and options, so one cache serves them all and
+    repeated cells are solved once).  Table numbers are unchanged either way
+    — only the CPU column reflects the execution mode.
+    """
+    cache = None
+    if use_cache:
+        from repro.runtime.cache import ComponentCache
+
+        cache = ComponentCache()
+    executor = None
+    if workers is not None and workers != 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.runtime.scheduler import resolve_workers
+
+        try:
+            executor = ProcessPoolExecutor(max_workers=resolve_workers(workers))
+        except Exception:
+            executor = None  # schedulers run serially; results identical
     table = ExperimentTable(name=name, num_colors=num_colors)
-    for circuit in circuits:
-        construction = build_graph_for_circuit(circuit, num_colors, scale)
-        graph = construction.graph
-        for algorithm in algorithms:
-            row = run_algorithm(
-                graph,
-                algorithm,
-                num_colors,
-                circuit=circuit,
-                ilp_time_limit=ilp_time_limit,
-            )
-            table.rows.append(row)
-            if verbose:
-                print(format_row(row))
+    try:
+        for circuit in circuits:
+            construction = build_graph_for_circuit(circuit, num_colors, scale)
+            graph = construction.graph
+            for algorithm in algorithms:
+                row = run_algorithm(
+                    graph,
+                    algorithm,
+                    num_colors,
+                    circuit=circuit,
+                    ilp_time_limit=ilp_time_limit,
+                    workers=workers,
+                    cache=cache,
+                    executor=executor,
+                )
+                table.rows.append(row)
+                if verbose:
+                    print(format_row(row))
+    finally:
+        if executor is not None:
+            executor.shutdown()
     return table
 
 
@@ -175,6 +242,8 @@ def run_table1(
     scale: float = 0.35,
     ilp_time_limit: Optional[float] = 30.0,
     verbose: bool = False,
+    workers: Optional[int] = None,
+    use_cache: bool = False,
 ) -> ExperimentTable:
     """Regenerate Table 1 (quadruple patterning comparison)."""
     return run_table(
@@ -185,6 +254,8 @@ def run_table1(
         ilp_time_limit=ilp_time_limit,
         name="Table 1: Comparison for Quadruple Patterning",
         verbose=verbose,
+        workers=workers,
+        use_cache=use_cache,
     )
 
 
@@ -193,6 +264,8 @@ def run_table2(
     algorithms: Optional[Sequence[str]] = None,
     scale: float = 0.35,
     verbose: bool = False,
+    workers: Optional[int] = None,
+    use_cache: bool = False,
 ) -> ExperimentTable:
     """Regenerate Table 2 (pentuple patterning comparison)."""
     return run_table(
@@ -203,6 +276,8 @@ def run_table2(
         ilp_time_limit=None,
         name="Table 2: Comparison for Pentuple Patterning",
         verbose=verbose,
+        workers=workers,
+        use_cache=use_cache,
     )
 
 

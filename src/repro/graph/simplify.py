@@ -62,7 +62,11 @@ def peel_low_degree_vertices(
         neighbours = work.neighbors(vertex)
         work.remove_vertex(vertex)
         stack.append(vertex)
-        for other in neighbours:
+        # Sorted so the peel order is a function of graph *content*: raw set
+        # iteration order depends on the container's insertion history, which
+        # differs between an in-process graph and its pickled copy in a
+        # worker, and the peel order feeds the final coloring.
+        for other in sorted(neighbours):
             if (
                 other not in pending
                 and work.has_vertex(other)
@@ -90,8 +94,11 @@ def legal_color(
     blocked: Set[int] = {
         coloring[n] for n in graph.conflict_neighbors(vertex) if n in coloring
     }
+    # Sorted for determinism: with several differently-colored stitch
+    # neighbours the first legal one wins, so the visit order must not depend
+    # on set layout (see the peeling loop above).
     stitch_colors = [
-        coloring[n] for n in graph.stitch_neighbors(vertex) if n in coloring
+        coloring[n] for n in sorted(graph.stitch_neighbors(vertex)) if n in coloring
     ]
     for color in stitch_colors:
         if color not in blocked:

@@ -1,0 +1,44 @@
+"""Execution runtime: parallel component scheduling, memoisation, batching.
+
+The divide stage of the paper's flow produces many independent subproblems;
+this package turns that structural fact into throughput:
+
+* :mod:`repro.runtime.hashing` — canonical, order-preserving component keys;
+* :mod:`repro.runtime.cache` — :class:`ComponentCache`, replaying previously
+  solved components bit-identically;
+* :mod:`repro.runtime.scheduler` — :class:`ComponentScheduler` /
+  :func:`schedule_and_color`, process-pool execution with largest-first
+  ordering, deterministic merge and graceful serial fallback;
+* :mod:`repro.runtime.batch` — :func:`decompose_many`, the multi-layout API
+  behind the ``repro-decompose batch`` subcommand.
+
+Every path through this package preserves the exact masks, conflict counts
+and stitch counts of the serial pipeline.
+"""
+
+from repro.runtime.cache import CacheStats, ComponentCache, ComponentRecord
+from repro.runtime.hashing import canonical_component_key, options_fingerprint
+from repro.runtime.scheduler import (
+    ComponentScheduler,
+    ScheduleOutcome,
+    WorkItem,
+    resolve_workers,
+    schedule_and_color,
+)
+from repro.runtime.batch import BatchItem, BatchResult, decompose_many
+
+__all__ = [
+    "CacheStats",
+    "ComponentCache",
+    "ComponentRecord",
+    "canonical_component_key",
+    "options_fingerprint",
+    "ComponentScheduler",
+    "ScheduleOutcome",
+    "WorkItem",
+    "resolve_workers",
+    "schedule_and_color",
+    "BatchItem",
+    "BatchResult",
+    "decompose_many",
+]

@@ -1,0 +1,159 @@
+"""Memoisation of solved decomposition-graph components.
+
+Standard-cell layouts repeat the same cell across the die, so after graph
+division the scheduler sees the same small component over and over.  The
+:class:`ComponentCache` stores each solved component's coloring in canonical
+(rank) space, keyed by :func:`repro.runtime.hashing.canonical_component_key`;
+a later isomorphic component replays the stored colors through its own rank
+map instead of re-running the solver.
+
+Because the canonical relabeling is order-preserving and every colorer is
+equivariant under order-preserving relabelings (see :mod:`hashing`), a cache
+hit returns exactly the coloring a fresh solve would have produced — caching
+never changes results, only CPU time.  Entries also carry the component's
+:class:`~repro.core.division.DivisionReport` delta and solver-timeout count
+so replays reproduce the full solve byproducts, not just the colors.  One
+cache is safe to share across the layouts of a batch and across algorithms
+and K (the key fingerprints both).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.division import DivisionReport
+from repro.core.options import AlgorithmOptions, DivisionOptions
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.runtime.hashing import canonical_component_key, canonical_vertex_order
+
+
+@dataclass
+class ComponentRecord:
+    """One solved component: coloring plus solve byproducts.
+
+    ``coloring`` is expressed over canonical ranks inside the cache and over
+    real vertex ids in the records returned by :meth:`ComponentCache.lookup`.
+    """
+
+    coloring: Dict[int, int]
+    report: DivisionReport = field(default_factory=DivisionReport)
+    solver_timeouts: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ComponentCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Entry count at the time of the last :meth:`ComponentCache.snapshot_stats`.
+    entries_hint: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        """One-line report used by the CLI and batch summaries."""
+        return (
+            f"component cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.entries_hint} entries"
+        )
+
+
+class ComponentCache:
+    """LRU cache of component solutions in canonical rank space.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored components; ``None`` means unbounded.  Eviction
+        is least-recently-used so the hot cells of a layout stay resident.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, ComponentRecord]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_of(
+        self,
+        graph: DecompositionGraph,
+        num_colors: int,
+        algorithm: str,
+        algorithm_options: AlgorithmOptions,
+        division: DivisionOptions,
+    ) -> str:
+        """Return the canonical cache key of ``graph`` for this configuration."""
+        return canonical_component_key(
+            graph, num_colors, algorithm, algorithm_options, division
+        )
+
+    # ------------------------------------------------------------- lookup
+    def lookup(self, key: str, graph: DecompositionGraph) -> Optional[ComponentRecord]:
+        """Return the cached solution replayed onto ``graph``'s vertex ids.
+
+        Records a hit or miss in :attr:`stats`; returns ``None`` on a miss.
+        """
+        record = self._entries.get(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        order = canonical_vertex_order(graph)
+        return ComponentRecord(
+            coloring={vertex: record.coloring[rank] for rank, vertex in enumerate(order)},
+            report=record.report.component_delta(),
+            solver_timeouts=record.solver_timeouts,
+        )
+
+    def store(
+        self,
+        key: str,
+        graph: DecompositionGraph,
+        coloring: Dict[int, int],
+        report: Optional[DivisionReport] = None,
+        solver_timeouts: int = 0,
+    ) -> None:
+        """Store a solution (on ``graph``'s own vertex ids) under ``key``."""
+        order = canonical_vertex_order(graph)
+        self._entries[key] = ComponentRecord(
+            coloring={rank: coloring[vertex] for rank, vertex in enumerate(order)},
+            report=report.component_delta() if report is not None else DivisionReport(),
+            solver_timeouts=solver_timeouts,
+        )
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def snapshot_stats(self) -> CacheStats:
+        """Return a point-in-time copy of the stats with the entry count.
+
+        A copy, not the live object: callers (e.g. batch reports) keep the
+        snapshot after the cache continues accumulating hits elsewhere.
+        """
+        return CacheStats(
+            hits=self.stats.hits,
+            misses=self.stats.misses,
+            evictions=self.stats.evictions,
+            entries_hint=len(self._entries),
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()

@@ -1,0 +1,110 @@
+"""Canonical hashing of decomposition-graph components.
+
+The component cache (:mod:`repro.runtime.cache`) must recognise a component
+it has already solved even when the component reappears under different
+vertex ids — the standard-cell layouts of :mod:`repro.bench` repeat the same
+cell (and hence the same decomposition subgraph) many times across the die.
+
+The canonical form used here is the **order-preserving relabeling**: vertices
+are replaced by their rank in sorted-id order, and the three edge sets
+(conflict, stitch, color-friendly) are rewritten over ranks and sorted.  Two
+components that are isomorphic via a monotone vertex map therefore hash
+identically.  Order preservation is a deliberate restriction, not a
+shortcut: every color-assignment algorithm in :mod:`repro.core` iterates
+``graph.vertices()`` (sorted) and breaks ties by vertex id, so a coloring
+computed on the canonical graph maps back to *exactly* the coloring the
+algorithm would have produced in place.  That property is what lets the
+cache replay results while keeping the parallel/cached path bit-identical to
+the serial one.  A stronger isomorphism-complete canonicalisation would trade
+that determinism guarantee away (and cost far more per component).
+
+Vertex weights are folded into the key because merged graphs weight their
+vertices; plain construction output always has weight 1 so repeated cells
+still collide.  The key also fingerprints everything else that influences the
+solution: K, the algorithm name and the full :class:`AlgorithmOptions` /
+:class:`DivisionOptions` field sets — changing any option invalidates the
+cache by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields
+from typing import Dict, List, Tuple
+
+from repro.core.options import AlgorithmOptions, DivisionOptions
+from repro.graph.decomposition_graph import DecompositionGraph
+
+#: Bump when the canonical payload layout changes so stale keys cannot
+#: accidentally collide across versions of the hashing scheme.
+_SCHEMA_VERSION = 1
+
+
+def canonical_vertex_order(graph: DecompositionGraph) -> List[int]:
+    """Return the graph's vertices in canonical (sorted-id) order."""
+    return graph.vertices()
+
+
+def canonical_rank_map(graph: DecompositionGraph) -> Dict[int, int]:
+    """Map each vertex id to its rank in the canonical order."""
+    return {vertex: rank for rank, vertex in enumerate(canonical_vertex_order(graph))}
+
+
+def _relabel_edges(
+    edges: List[Tuple[int, int]], rank: Dict[int, int]
+) -> List[Tuple[int, int]]:
+    relabeled = []
+    for u, v in edges:
+        ru, rv = rank[u], rank[v]
+        relabeled.append((ru, rv) if ru <= rv else (rv, ru))
+    relabeled.sort()
+    return relabeled
+
+
+def options_fingerprint(
+    algorithm_options: AlgorithmOptions, division: DivisionOptions
+) -> str:
+    """Return a stable fingerprint of every option that can change a solution.
+
+    Iterates the dataclass fields by name so new options are picked up
+    automatically — adding a knob can never silently alias old cache entries.
+    """
+    parts: List[str] = []
+    for obj in (algorithm_options, division):
+        for f in sorted(fields(obj), key=lambda f: f.name):
+            parts.append(f"{type(obj).__name__}.{f.name}={getattr(obj, f.name)!r}")
+    return ";".join(parts)
+
+
+def canonical_component_key(
+    graph: DecompositionGraph,
+    num_colors: int,
+    algorithm: str,
+    algorithm_options: AlgorithmOptions,
+    division: DivisionOptions,
+) -> str:
+    """Return the cache key of ``graph`` under the given solve configuration.
+
+    Key equality implies the canonically-relabeled components are *equal*
+    (same rank edge lists and weights) and every solve parameter matches, so
+    a cached canonical coloring can be replayed through the rank map without
+    re-solving.
+    """
+    rank = canonical_rank_map(graph)
+    weights = tuple(
+        graph.vertex_data(vertex).weight for vertex in canonical_vertex_order(graph)
+    )
+    payload = "|".join(
+        [
+            f"v{_SCHEMA_VERSION}",
+            f"n={graph.num_vertices}",
+            f"K={num_colors}",
+            f"alg={algorithm}",
+            options_fingerprint(algorithm_options, division),
+            f"w={weights}",
+            f"ce={_relabel_edges(graph.conflict_edges(), rank)}",
+            f"se={_relabel_edges(graph.stitch_edges(), rank)}",
+            f"fe={_relabel_edges(graph.friend_edges(), rank)}",
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,13 +1,29 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures and marker registry for the repro test suite."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.bench.cells import figure4_graph, figure5_graph, four_clique_contact_cell
+from repro.bench.factory import repeated_cell_layout as make_repeated_cell_layout
+from repro.bench.factory import wire_row_layout as make_wire_row_layout
 from repro.geometry.layout import Layout
-from repro.geometry.rect import Rect
 from repro.graph.decomposition_graph import DecompositionGraph
+
+
+def pytest_configure(config) -> None:
+    """Register the suite's tiering markers.
+
+    Tier 1 (the fast gate run on every change) is ``pytest -m "not slow"``;
+    the ``slow`` marker holds the heavyweight sweeps and ``solver`` marks
+    tests that exercise the numerical ILP/SDP backends (typically also slow).
+    """
+    config.addinivalue_line(
+        "markers", "slow: heavyweight test excluded from the tier-1 fast path"
+    )
+    config.addinivalue_line(
+        "markers", "solver: exercises the numerical ILP/SDP solver backends"
+    )
 
 
 @pytest.fixture
@@ -54,14 +70,16 @@ def fig5() -> DecompositionGraph:
 @pytest.fixture
 def wire_row_layout() -> Layout:
     """Three parallel wires at minimum pitch (simple conflict chain)."""
-    layout = Layout(name="wire-row")
-    for index in range(3):
-        y = index * 40
-        layout.add_rect(Rect(0, y, 400, y + 20), layer="metal1")
-    return layout
+    return make_wire_row_layout(num_wires=3, wire_length=400)
 
 
 @pytest.fixture
 def contact_cell_layout() -> Layout:
     """The Fig. 1 four-contact cell."""
     return four_clique_contact_cell()
+
+
+@pytest.fixture
+def repeated_cells_layout() -> Layout:
+    """Four identical Fig. 1 cells far apart — the cache-hit workload."""
+    return make_repeated_cell_layout(copies=4)

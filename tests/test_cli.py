@@ -76,6 +76,149 @@ class TestDecomposeCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestBatchCommand:
+    @pytest.fixture
+    def second_layout_file(self, tmp_path):
+        layout = Layout(name="cli-sample-2")
+        for i in range(5):
+            layout.add_rect(Rect(0, i * 40, 260, i * 40 + 20), layer="metal1")
+        path = tmp_path / "sample2.json"
+        write_json(layout, path)
+        return path
+
+    @pytest.fixture
+    def repeated_cells_file(self, tmp_path):
+        from repro.bench.factory import repeated_cell_layout
+
+        path = tmp_path / "cells.json"
+        write_json(repeated_cell_layout(copies=4, layer="metal1"), path)
+        return path
+
+    def test_batch_two_layouts(self, layout_file, second_layout_file, capsys):
+        exit_code = main(
+            [
+                "batch",
+                str(layout_file),
+                str(second_layout_file),
+                "--algorithm",
+                "linear",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sample:" in out and "sample2:" in out  # per-layout summaries
+        assert "batch: 2 layouts" in out  # aggregate summary
+
+    def test_batch_matches_single_decompose(
+        self, layout_file, second_layout_file, capsys
+    ):
+        """The batch path reports the same metrics as one-at-a-time runs."""
+        main(["decompose", str(layout_file), "--algorithm", "linear"])
+        single = capsys.readouterr().out.splitlines()[0]
+        main(
+            [
+                "batch",
+                str(layout_file),
+                str(second_layout_file),
+                "--algorithm",
+                "linear",
+                "--workers",
+                "2",
+            ]
+        )
+        batch_out = capsys.readouterr().out
+        # The decompose summary line carries conflicts=/stitches=; the same
+        # numbers must appear in the batch per-layout line for that input.
+        fragment = single.split("color-assign")[0].split(":", 1)[1]
+        assert fragment in batch_out
+
+    def test_batch_reports_cache_hits_on_repeated_cells(
+        self, repeated_cells_file, capsys
+    ):
+        exit_code = main(
+            ["batch", str(repeated_cells_file), str(repeated_cells_file),
+             "--algorithm", "linear"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "component cache:" in out
+        hits = int(out.split("component cache: ")[1].split(" hits")[0])
+        assert hits >= 1
+
+    def test_batch_json_report(self, layout_file, second_layout_file, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "batch",
+                str(layout_file),
+                str(second_layout_file),
+                "--algorithm",
+                "greedy",
+                "--json",
+                str(report),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(report.read_text())
+        assert payload["aggregate"]["layouts"] == 2
+        assert {entry["name"] for entry in payload["layouts"]} == {
+            "sample",
+            "sample2",
+        }
+        assert "cache" in payload
+
+    def test_batch_output_dir_and_no_cache(
+        self, layout_file, second_layout_file, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "masks"
+        exit_code = main(
+            [
+                "batch",
+                str(layout_file),
+                str(second_layout_file),
+                "--algorithm",
+                "linear",
+                "--no-cache",
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "component cache:" not in out
+        masks = read_json(out_dir / "sample-masks.json")
+        assert all(layer.startswith("mask") for layer in masks.layers())
+        assert (out_dir / "sample2-masks.json").exists()
+
+    def test_batch_resolves_layer_per_layout(self, layout_file, tmp_path, capsys):
+        """Without --layer each input uses its own first layer."""
+        from repro.bench.factory import repeated_cell_layout
+
+        contacts = tmp_path / "contacts.json"
+        write_json(repeated_cell_layout(copies=2, layer="contact"), contacts)
+        report = tmp_path / "report.json"
+        assert main(
+            ["batch", str(layout_file), str(contacts), "--algorithm", "linear",
+             "--json", str(report)]
+        ) == 0
+        payload = json.loads(report.read_text())
+        assert all(row["vertices"] > 0 for row in payload["layouts"])
+
+    def test_batch_json_write_error_is_clean(self, layout_file, tmp_path, capsys):
+        exit_code = main(
+            ["batch", str(layout_file), "--algorithm", "linear",
+             "--json", str(tmp_path / "no" / "such" / "dir" / "r.json")]
+        )
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_missing_file_reports_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        missing.write_text("{}")
+        assert main(["batch", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestStatsCommand:
     def test_stats(self, layout_file, capsys):
         assert main(["stats", str(layout_file)]) == 0
