@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Serve-and-request walkthrough for the decomposition service.
+
+Starts a :class:`DecompositionServer` on an ephemeral port (in-process, on a
+background thread — exactly what ``repro-decompose serve`` runs as a
+daemon), points it at a SQLite component cache, and then acts as a client:
+
+1. waits for ``/healthz``,
+2. decomposes a repeated-standard-cell layout (cold cache),
+3. decomposes it again (every component replayed from SQLite),
+4. prints ``/stats`` showing the cache doing its job,
+5. drains the server gracefully.
+
+Run with:  python examples/serve_client.py
+
+Against a standalone daemon the client half is identical — start
+``repro-decompose serve --port 8000 --cache-db cells.db`` (or
+``python -m repro.service ...``) and point :class:`ServiceClient` at it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.bench.factory import repeated_cell_layout
+from repro.geometry.layout import Layout
+from repro.service import ServerConfig, ServerThread, ServiceClient
+
+
+def main() -> None:
+    layout = repeated_cell_layout(copies=6)
+    print(f"input layout: {len(layout)} features on {layout.layers()}")
+
+    cache_db = Path(tempfile.mkdtemp(prefix="repro-serve-")) / "cells.db"
+    config = ServerConfig(port=0, workers=0, cache_db=str(cache_db))
+
+    with ServerThread(config) as (host, port):
+        client = ServiceClient(host, port)
+        health = client.wait_until_healthy()
+        print(f"server up at http://{host}:{port} "
+              f"(pool mode={health['mode']}, workers={health['workers']})")
+
+        cold = client.decompose(layout, name="cells", algorithm="linear")
+        print(f"cold solve: conflicts={cold['conflicts']} "
+              f"stitches={cold['stitches']} in {cold['seconds']:.3f}s")
+
+        warm = client.decompose(layout, name="cells", algorithm="linear")
+        print(f"warm solve: conflicts={warm['conflicts']} "
+              f"stitches={warm['stitches']} in {warm['seconds']:.3f}s")
+
+        masks = Layout.from_dict(warm["masks"])
+        print(f"served masks: {len(masks)} fragments on layers {masks.layers()}")
+
+        cache = client.stats()["cache"]
+        print(f"cache @ {cache['path']}: {cache['hits']} hits / "
+              f"{cache['misses']} misses, {cache['entries']} entries "
+              f"(restarting the server with the same --cache-db keeps them)")
+    print("server drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,11 @@ Batch decomposition of many layouts with shared workers and cache::
 
 The same batch engine backs the ``repro-decompose batch`` CLI subcommand and
 the ``--workers`` / ``--cache`` flags of ``python -m repro.experiments``.
+
+For request traffic, :mod:`repro.service` wraps it all in a long-running
+asyncio HTTP server (``repro-decompose serve`` / ``python -m repro.service``)
+with a persistent worker pool and a SQLite-backed component cache shared
+across processes and restarts; see README "Running as a service".
 """
 
 from repro.errors import (

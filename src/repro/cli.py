@@ -1,9 +1,10 @@
 """Command line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro-decompose decompose INPUT [--algorithm linear --colors 4 --output masks.gds]
-    repro-decompose batch INPUT [INPUT ...] [--workers 4 --json report.json]
+    repro-decompose batch INPUT [INPUT ...] [--workers 4 --cache-db cells.db --json report.json]
+    repro-decompose serve [--port 8000 --workers 0 --cache-db cells.db]
     repro-decompose stats INPUT
     repro-decompose generate CIRCUIT [--scale 0.35 --output circuit.json]
 
@@ -14,8 +15,15 @@ file whose layers are named ``mask0`` .. ``mask(K-1)``.
 ``batch`` decomposes many layouts in one invocation: the divided components
 of every layout are scheduled across ``--workers`` processes and memoised in
 a shared component cache (repeated cells are solved once), then per-layout
-and aggregate summaries are printed.  Results are bit-identical to running
-``decompose`` on each input serially.
+and aggregate summaries are printed.  ``--cache-db`` backs that cache with a
+SQLite file shared across invocations; ``--cache-max-entries`` bounds it.
+Results are bit-identical to running ``decompose`` on each input serially.
+
+``serve`` runs the long-lived decomposition server of
+:mod:`repro.service` (also reachable as ``python -m repro.service``): a
+persistent worker pool behind ``POST /decompose`` / ``POST /batch`` /
+``GET /healthz`` / ``GET /stats``, with the same SQLite cache flags so
+solved components persist across requests and restarts.
 """
 
 from __future__ import annotations
@@ -83,7 +91,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.runtime import decompose_many
+    from repro.errors import ConfigurationError
+    from repro.runtime import decompose_many, open_cache
 
     named = []
     for path in args.inputs:
@@ -93,36 +102,78 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.min_spacing is not None:
         options.construction.min_coloring_distance = args.min_spacing
 
-    # layer=None resolves per layout (each input may name its layers
-    # differently); an explicit --layer applies to every input.
-    batch = decompose_many(
-        named,
-        options=options,
-        layer=args.layer,
-        workers=args.workers,
-        cache=not args.no_cache,
-    )
-    for item in batch.items:
-        print(item.summary())
-    print(batch.aggregate_summary())
+    if args.no_cache:
+        if args.cache_db or args.cache_max_entries is not None:
+            raise ConfigurationError(
+                "--no-cache cannot be combined with --cache-db/--cache-max-entries"
+            )
+        cache = False
+    else:
+        import sqlite3
+
+        try:
+            cache = open_cache(
+                db_path=args.cache_db, max_entries=args.cache_max_entries
+            )
+        except (OSError, sqlite3.Error, ValueError) as exc:
+            # Keep the CLI's "error: ..." contract for bad --cache-db paths
+            # instead of a raw traceback.
+            raise ConfigurationError(
+                f"cannot open component cache "
+                f"({args.cache_db or 'in-memory'}): {exc}"
+            ) from exc
 
     from repro.errors import LayoutIOError
 
     try:
-        if args.output_dir:
-            out_dir = Path(args.output_dir)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            for item in batch.items:
-                target = out_dir / f"{item.name}-masks.json"
-                _save_layout(item.result.to_mask_layout(), str(target))
-            print(f"masks written to {out_dir}")
-        if args.json:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(batch.to_json_dict(), handle, indent=2)
-            print(f"batch report written to {args.json}")
-    except OSError as exc:
-        raise LayoutIOError(f"cannot write batch outputs: {exc}") from exc
+        # layer=None resolves per layout (each input may name its layers
+        # differently); an explicit --layer applies to every input.
+        batch = decompose_many(
+            named,
+            options=options,
+            layer=args.layer,
+            workers=args.workers,
+            cache=cache,
+        )
+        for item in batch.items:
+            print(item.summary())
+        print(batch.aggregate_summary())
+
+        try:
+            if args.output_dir:
+                out_dir = Path(args.output_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                for item in batch.items:
+                    target = out_dir / f"{item.name}-masks.json"
+                    _save_layout(item.result.to_mask_layout(), str(target))
+                print(f"masks written to {out_dir}")
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    json.dump(batch.to_json_dict(), handle, indent=2)
+                print(f"batch report written to {args.json}")
+        except OSError as exc:
+            raise LayoutIOError(f"cannot write batch outputs: {exc}") from exc
+    finally:
+        if cache is not False:
+            cache.close()
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        cache_db=args.cache_db,
+        cache_max_entries=args.cache_max_entries,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        force_inline_pool=args.inline_pool,
+    )
+    return run_server(config)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -212,12 +263,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared component cache (every component re-solved)",
     )
     batch.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="PATH",
+        help=(
+            "back the component cache with a SQLite file at PATH, shared "
+            "across processes and invocations (default: in-memory LRU)"
+        ),
+    )
+    batch.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the component cache to N entries (LRU eviction)",
+    )
+    batch.add_argument(
         "--output-dir", default=None, help="write per-layout mask files to this directory"
     )
     batch.add_argument(
         "--json", default=None, help="write the per-layout + aggregate report as JSON"
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the decomposition server (persistent worker pool + HTTP API)",
+        description=(
+            "Start the long-running decomposition service: an asyncio HTTP "
+            "front end (POST /decompose, POST /batch, GET /healthz, "
+            "GET /stats) over a pool of worker processes created once at "
+            "startup.  With --cache-db, solved components persist in a "
+            "SQLite store shared by every worker and surviving restarts.  "
+            "Served masks are bit-identical to the serial decompose flow.  "
+            "Also invocable as 'python -m repro.service'."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port (0 = ephemeral, printed on start)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="max queued+in-flight jobs before requests get 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request solve budget in seconds (504 beyond it)",
+    )
+    serve.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="PATH",
+        help="SQLite component cache shared by workers and across restarts",
+    )
+    serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the component cache to N entries (LRU eviction)",
+    )
+    serve.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="largest accepted request body in MiB",
+    )
+    serve.add_argument(
+        "--inline-pool",
+        action="store_true",
+        help="run jobs on threads in-process instead of worker processes",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     stats = subparsers.add_parser("stats", help="print layout statistics")
     stats.add_argument("input", help="input layout (.gds or .json)")

@@ -100,14 +100,27 @@ class Decomposer:
     ``decompose`` accepts optional execution knobs: ``workers`` colors the
     divided components across a process pool (``N >= 2`` processes, ``0`` =
     one per CPU) and ``cache`` memoises solved components across calls via a
-    :class:`repro.runtime.cache.ComponentCache`.  Both are pure execution
+    :class:`repro.runtime.cache.ComponentCache` (in-memory or SQLite-backed;
+    see :func:`repro.runtime.open_cache`).  Both are pure execution
     strategies — masks, conflict counts and stitch counts are bit-identical
     to the default serial path.
+
+    Both knobs may also be bound at construction time, which is how
+    long-lived holders (the batch API, the decomposition server's workers)
+    configure one decomposer and then call plain ``decompose(layout)`` per
+    request; per-call arguments override the bound defaults.
     """
 
-    def __init__(self, options: Optional[DecomposerOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[DecomposerOptions] = None,
+        workers: Optional[int] = None,
+        cache=None,
+    ) -> None:
         self.options = options or DecomposerOptions()
         self.options.validate()
+        self.workers = workers
+        self.cache = cache
 
     # ------------------------------------------------------------------ API
     def decompose(
@@ -119,6 +132,10 @@ class Decomposer:
         executor=None,
     ) -> DecompositionResult:
         """Decompose one layer of ``layout`` into K masks."""
+        if workers is None:
+            workers = self.workers
+        if cache is None:
+            cache = self.cache
         start_total = time.perf_counter()
         construction = build_decomposition_graph(
             layout, layer=layer, options=self.options.construction
@@ -142,6 +159,10 @@ class Decomposer:
         executor=None,
     ) -> DecompositionSolution:
         """Color an already-constructed decomposition graph."""
+        if workers is None:
+            workers = self.workers
+        if cache is None:
+            cache = self.cache
         solution, _ = self._solve(graph, workers=workers, cache=cache, executor=executor)
         solution.total_seconds = solution.color_assignment_seconds
         return solution

@@ -5,7 +5,10 @@ this package turns that structural fact into throughput:
 
 * :mod:`repro.runtime.hashing` — canonical, order-preserving component keys;
 * :mod:`repro.runtime.cache` — :class:`ComponentCache`, replaying previously
-  solved components bit-identically;
+  solved components bit-identically over a pluggable :class:`CacheBackend`
+  (in-memory LRU by default);
+* :mod:`repro.runtime.sqlite_cache` — :class:`SqliteBackend`, the durable
+  multi-process store behind ``--cache-db`` and the decomposition server;
 * :mod:`repro.runtime.scheduler` — :class:`ComponentScheduler` /
   :func:`schedule_and_color`, process-pool execution with largest-first
   ordering, deterministic merge and graceful serial fallback;
@@ -16,7 +19,15 @@ Every path through this package preserves the exact masks, conflict counts
 and stitch counts of the serial pipeline.
 """
 
-from repro.runtime.cache import CacheStats, ComponentCache, ComponentRecord
+from repro.runtime.cache import (
+    CacheBackend,
+    CacheStats,
+    ComponentCache,
+    ComponentRecord,
+    InMemoryBackend,
+    open_cache,
+)
+from repro.runtime.sqlite_cache import SqliteBackend
 from repro.runtime.hashing import canonical_component_key, options_fingerprint
 from repro.runtime.scheduler import (
     ComponentScheduler,
@@ -28,9 +39,13 @@ from repro.runtime.scheduler import (
 from repro.runtime.batch import BatchItem, BatchResult, decompose_many
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
     "ComponentCache",
     "ComponentRecord",
+    "InMemoryBackend",
+    "SqliteBackend",
+    "open_cache",
     "canonical_component_key",
     "options_fingerprint",
     "ComponentScheduler",

@@ -114,14 +114,24 @@ class BatchResult:
             },
         }
         if self.cache_stats is not None:
-            payload["cache"] = {
-                "hits": self.cache_stats.hits,
-                "misses": self.cache_stats.misses,
-                "evictions": self.cache_stats.evictions,
-                "entries": self.cache_stats.entries_hint,
-                "hit_rate": self.cache_stats.hit_rate,
-            }
+            payload["cache"] = self.cache_stats.to_json_dict()
         return payload
+
+
+def dedupe_names(names: Iterable[str]) -> List[str]:
+    """Disambiguate colliding names with ``#1``, ``#2``, ... suffixes.
+
+    Non-colliding names pass through untouched.  The single owner of the
+    batch naming rule — used here and by the service's batch endpoint, so
+    CLI batches and served batches can never drift apart.
+    """
+    seen: Dict[str, int] = {}
+    unique: List[str] = []
+    for name in names:
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        unique.append(f"{name}#{count}" if count else name)
+    return unique
 
 
 def _named_layouts(layouts: LayoutsInput) -> List[Tuple[str, Layout]]:
@@ -136,13 +146,8 @@ def _named_layouts(layouts: LayoutsInput) -> List[Tuple[str, Layout]]:
             else:
                 name, layout = entry
                 pairs.append((name, layout))
-    seen: Dict[str, int] = {}
-    unique: List[Tuple[str, Layout]] = []
-    for name, layout in pairs:
-        count = seen.get(name, 0)
-        seen[name] = count + 1
-        unique.append((f"{name}#{count}" if count else name, layout))
-    return unique
+    names = dedupe_names(name for name, _ in pairs)
+    return list(zip(names, (layout for _, layout in pairs)))
 
 
 def decompose_many(

@@ -15,13 +15,27 @@ never changes results, only CPU time.  Entries also carry the component's
 so replays reproduce the full solve byproducts, not just the colors.  One
 cache is safe to share across the layouts of a batch and across algorithms
 and K (the key fingerprints both).
+
+Storage is pluggable: :class:`ComponentCache` is a thin frontend (rank
+mapping + hit/miss accounting) over a :class:`CacheBackend`.  Two backends
+ship with the library:
+
+* :class:`InMemoryBackend` — the default LRU ``OrderedDict`` store, private
+  to one process;
+* :class:`repro.runtime.sqlite_cache.SqliteBackend` — a SQLite (WAL) file
+  shared by many processes and surviving restarts, used by the decomposition
+  server so repeated cells are solved once *across requests and machines
+  lifetimes*, not just within one batch.
+
+:func:`open_cache` picks between them from plain configuration values (the
+CLI flags and server options map straight onto it).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Protocol
 
 from repro.core.division import DivisionReport
 from repro.core.options import AlgorithmOptions, DivisionOptions
@@ -68,9 +82,41 @@ class CacheStats:
             f"({self.hit_rate:.0%} hit rate), {self.entries_hint} entries"
         )
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (batch reports, server ``/stats``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries_hint,
+            "hit_rate": self.hit_rate,
+        }
 
-class ComponentCache:
-    """LRU cache of component solutions in canonical rank space.
+
+class CacheBackend(Protocol):
+    """Storage contract behind :class:`ComponentCache`.
+
+    Records are stored and returned in canonical rank space (coloring keyed
+    by rank ``0..n-1``); the frontend does all vertex-id mapping.  ``put``
+    returns the number of entries evicted to make room, so the frontend can
+    account for them.  Backends own their persistence/concurrency story;
+    the frontend never assumes entries survive between calls (a concurrent
+    process may have evicted them).
+    """
+
+    def get(self, key: str) -> Optional[ComponentRecord]: ...
+
+    def put(self, key: str, record: ComponentRecord) -> int: ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class InMemoryBackend:
+    """Process-private LRU store (the historical ``ComponentCache`` storage).
 
     Parameters
     ----------
@@ -83,11 +129,68 @@ class ComponentCache:
         if max_entries is not None and max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
-        self.stats = CacheStats()
         self._entries: "OrderedDict[str, ComponentRecord]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def get(self, key: str) -> Optional[ComponentRecord]:
+        record = self._entries.get(key)
+        if record is not None:
+            self._entries.move_to_end(key)
+        return record
+
+    def put(self, key: str, record: ComponentRecord) -> int:
+        self._entries[key] = record
+        self._entries.move_to_end(key)
+        evicted = 0
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+class ComponentCache:
+    """Cache of component solutions in canonical rank space.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on stored components; ``None`` means unbounded.  Only
+        meaningful when ``backend`` is not given (it sizes the default
+        in-memory LRU backend).
+    backend:
+        Storage implementation; defaults to a process-private
+        :class:`InMemoryBackend`.  Pass a
+        :class:`~repro.runtime.sqlite_cache.SqliteBackend` for a disk-backed
+        cache shared across processes and restarts.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if backend is None:
+            backend = InMemoryBackend(max_entries)
+        elif max_entries is not None:
+            raise ValueError("pass max_entries to the backend, not both")
+        self.backend = backend
+        self.stats = CacheStats()
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """Entry bound of the underlying backend (``None`` when unbounded)."""
+        return getattr(self.backend, "max_entries", None)
+
+    def __len__(self) -> int:
+        return len(self.backend)
 
     def key_of(
         self,
@@ -108,12 +211,11 @@ class ComponentCache:
 
         Records a hit or miss in :attr:`stats`; returns ``None`` on a miss.
         """
-        record = self._entries.get(key)
+        record = self.backend.get(key)
         if record is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        self._entries.move_to_end(key)
         order = canonical_vertex_order(graph)
         return ComponentRecord(
             coloring={vertex: record.coloring[rank] for rank, vertex in enumerate(order)},
@@ -131,15 +233,12 @@ class ComponentCache:
     ) -> None:
         """Store a solution (on ``graph``'s own vertex ids) under ``key``."""
         order = canonical_vertex_order(graph)
-        self._entries[key] = ComponentRecord(
+        record = ComponentRecord(
             coloring={rank: coloring[vertex] for rank, vertex in enumerate(order)},
             report=report.component_delta() if report is not None else DivisionReport(),
             solver_timeouts=solver_timeouts,
         )
-        self._entries.move_to_end(key)
-        if self.max_entries is not None and len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        self.stats.evictions += self.backend.put(key, record)
 
     def snapshot_stats(self) -> CacheStats:
         """Return a point-in-time copy of the stats with the entry count.
@@ -151,9 +250,31 @@ class ComponentCache:
             hits=self.stats.hits,
             misses=self.stats.misses,
             evictions=self.stats.evictions,
-            entries_hint=len(self._entries),
+            entries_hint=len(self.backend),
         )
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._entries.clear()
+        self.backend.clear()
+
+    def close(self) -> None:
+        """Release backend resources (database connections etc.)."""
+        self.backend.close()
+
+
+def open_cache(
+    db_path: Optional[str] = None,
+    max_entries: Optional[int] = None,
+) -> ComponentCache:
+    """Build a :class:`ComponentCache` from plain configuration values.
+
+    ``db_path=None`` returns the in-memory LRU cache; a path opens (or
+    creates) the shared SQLite store at that location.  This is the single
+    construction point used by the CLI flags (``--cache-db`` /
+    ``--cache-max-entries``) and by every server worker process.
+    """
+    if db_path is None:
+        return ComponentCache(max_entries=max_entries)
+    from repro.runtime.sqlite_cache import SqliteBackend
+
+    return ComponentCache(backend=SqliteBackend(db_path, max_entries=max_entries))

@@ -1,0 +1,42 @@
+"""Decomposition-as-a-service: async HTTP server, worker pool, client.
+
+This package turns the batch engine of :mod:`repro.runtime` into a
+long-running serving system — the ROADMAP's "async batch API for serving"
+and "persistent worker pool daemon" items:
+
+* :mod:`repro.service.protocol` — the JSON request/response schema shared by
+  server and client (layouts inline as JSON or base64 GDSII);
+* :mod:`repro.service.http` — a minimal HTTP/1.1 layer over ``asyncio``
+  streams (stdlib only, no web framework);
+* :mod:`repro.service.pool` — the persistent worker pool: processes created
+  once at startup, each owning a :class:`~repro.core.decomposer.Decomposer`
+  and a component cache (optionally the shared SQLite store);
+* :mod:`repro.service.server` — :class:`DecompositionServer`, the asyncio
+  front end with admission control, per-request timeouts, ``/healthz`` and
+  ``/stats``, and graceful drain on SIGTERM;
+* :mod:`repro.service.client` — a small blocking client used by the tests,
+  the examples and scripted callers.
+
+Every served result is bit-identical to a direct
+:meth:`Decomposer.decompose` call: the server only changes *where* the solve
+runs, never what it computes.
+
+Run it with ``repro-decompose serve`` or ``python -m repro.service``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.service.protocol import ProtocolError
+from repro.service.server import DecompositionServer, ServerConfig, ServerThread, run_server
+
+__all__ = [
+    "DecompositionServer",
+    "PoolConfig",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerPool",
+    "run_server",
+]

@@ -1,0 +1,15 @@
+"""``python -m repro.service`` — the ``repro-serve`` daemon entry point.
+
+Delegates to the ``serve`` subcommand of the main CLI so the two surfaces
+(``repro-decompose serve ...`` and ``python -m repro.service ...``) accept
+identical flags and never drift apart.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

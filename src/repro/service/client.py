@@ -1,0 +1,177 @@
+"""Blocking HTTP client for the decomposition service.
+
+A deliberately small wrapper over :mod:`http.client` — enough for tests,
+examples and scripted callers to talk to :class:`DecompositionServer`
+without hand-writing requests.  Each call opens one connection (the server
+speaks ``Connection: close``), so a :class:`ServiceClient` is cheap, state-
+free and safe to share across threads.
+
+::
+
+    client = ServiceClient("127.0.0.1", 8000)
+    client.wait_until_healthy()
+    response = client.decompose(layout, algorithm="linear")
+    masks = Layout.from_dict(response["masks"])
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.geometry.layout import Layout
+
+
+class ServiceError(ReproError):
+    """A non-2xx service response (or no response at all).
+
+    ``status`` is the HTTP status (0 when the connection itself failed) and
+    ``retry_after`` carries the server's backpressure hint on 503s.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status else message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking client bound to one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def _request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        body = None
+        headers = {"Accept": "application/json", "Connection": "close"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                raise ServiceError(0, f"cannot reach {self.host}:{self.port}: {exc}") from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                response.status, f"non-JSON response: {raw[:200]!r}"
+            ) from exc
+        if response.status >= 400:
+            message = decoded.get("error", {}).get("message", raw.decode(errors="replace"))
+            retry_after = response.headers.get("Retry-After")
+            raise ServiceError(
+                response.status,
+                message,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return decoded
+
+    # ------------------------------------------------------------ endpoints
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")
+
+    def decompose(
+        self,
+        layout: Optional[Layout] = None,
+        gds_bytes: Optional[bytes] = None,
+        name: Optional[str] = None,
+        layer: Optional[str] = None,
+        colors: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        min_spacing: Optional[int] = None,
+    ) -> Dict:
+        """Decompose one layout; returns the response payload dict."""
+        return self._request(
+            "POST", "/decompose", self._job_payload(
+                layout, gds_bytes, name, layer, colors, algorithm, min_spacing
+            )
+        )
+
+    def decompose_batch(
+        self,
+        layouts: List[Tuple[str, Layout]],
+        layer: Optional[str] = None,
+        colors: Optional[int] = None,
+        algorithm: Optional[str] = None,
+        min_spacing: Optional[int] = None,
+    ) -> Dict:
+        """Decompose many named layouts in one request."""
+        payload: Dict = {
+            "layouts": [
+                {"name": item_name, "layout": item_layout.to_dict()}
+                for item_name, item_layout in layouts
+            ]
+        }
+        for key, value in (
+            ("layer", layer),
+            ("colors", colors),
+            ("algorithm", algorithm),
+            ("min_spacing", min_spacing),
+        ):
+            if value is not None:
+                payload[key] = value
+        return self._request("POST", "/batch", payload)
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _job_payload(
+        layout: Optional[Layout],
+        gds_bytes: Optional[bytes],
+        name: Optional[str],
+        layer: Optional[str],
+        colors: Optional[int],
+        algorithm: Optional[str],
+        min_spacing: Optional[int],
+    ) -> Dict:
+        if (layout is None) == (gds_bytes is None):
+            raise ValueError("provide exactly one of layout and gds_bytes")
+        payload: Dict = {}
+        if layout is not None:
+            payload["layout"] = layout.to_dict()
+        else:
+            payload["gds_b64"] = base64.b64encode(gds_bytes).decode("ascii")
+        for key, value in (
+            ("name", name),
+            ("layer", layer),
+            ("colors", colors),
+            ("algorithm", algorithm),
+            ("min_spacing", min_spacing),
+        ):
+            if value is not None:
+                payload[key] = value
+        return payload
+
+    def wait_until_healthy(self, timeout: float = 30.0, interval: float = 0.1) -> Dict:
+        """Poll ``/healthz`` until the server answers ``ok`` (or time out)."""
+        deadline = time.monotonic() + timeout
+        last: Optional[ServiceError] = None
+        while time.monotonic() < deadline:
+            try:
+                health = self.healthz()
+                if health.get("status") == "ok":
+                    return health
+            except ServiceError as exc:
+                last = exc
+            time.sleep(interval)
+        raise ServiceError(0, f"server not healthy after {timeout}s: {last}")

@@ -1,0 +1,163 @@
+"""Persistent worker pool executing decomposition jobs for the server.
+
+The pool is created once at server startup and lives until drain: workers
+are long-lived processes, each holding its own :class:`Decomposer` wiring
+and its own handle on the component cache.  With ``cache_db`` set, every
+worker opens the same SQLite store (:mod:`repro.runtime.sqlite_cache`), so a
+standard cell solved by one worker is a cache hit for every other worker,
+for every later request, and for the next server instance pointed at the
+same file.  Without it, each worker keeps a process-private in-memory LRU —
+still effective for repeated cells within the worker's own request stream.
+
+Environments that cannot fork (locked-down sandboxes) are detected at
+startup by running a probe job through the pool; on failure the pool falls
+back to long-lived *threads* in the server process, trading parallelism for
+availability — the same correctness, since jobs never share mutable state.
+The active mode is reported by ``/healthz`` and ``/stats``.
+
+Jobs and results are plain JSON-level dicts (see
+:mod:`repro.service.protocol`), which keeps the process boundary cheap and
+version-skew-proof.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.decomposer import Decomposer
+from repro.runtime.cache import open_cache
+from repro.runtime.scheduler import resolve_workers
+from repro.service import protocol
+
+#: Per-thread (and, in process mode, per-process) worker state.  A
+#: ``threading.local`` covers both executors: a worker process runs its
+#: initializer and all its jobs on one thread, a thread-pool worker is a
+#: thread by definition.
+_worker_state = threading.local()
+
+
+def _worker_init(cache_db: Optional[str], cache_max_entries: Optional[int]) -> None:
+    """Executor initializer: build this worker's cache handle exactly once."""
+    _worker_state.cache = open_cache(db_path=cache_db, max_entries=cache_max_entries)
+
+
+def _worker_run(job: Dict) -> Dict:
+    """Execute one job dict inside a worker (process or thread)."""
+    cache = getattr(_worker_state, "cache", None)
+    return protocol.run_job(job, lambda options: Decomposer(options, cache=cache))
+
+
+def _worker_probe() -> str:
+    """Startup canary proving the pool can actually run code."""
+    return "ok"
+
+
+@dataclass
+class PoolConfig:
+    """Static pool configuration fixed at server startup."""
+
+    #: ``0`` = one worker per CPU, otherwise the worker count (min 1).
+    workers: int = 0
+    #: Path of the shared SQLite component cache; ``None`` = per-worker LRU.
+    cache_db: Optional[str] = None
+    #: Entry bound applied to whichever cache backend is in use.
+    cache_max_entries: Optional[int] = None
+    #: Skip process workers and run on threads (used by tests that need to
+    #: reach into in-flight jobs; also a sane choice under ``workers=1``).
+    force_inline: bool = False
+
+
+class WorkerPool:
+    """Long-lived executor of decomposition jobs with graceful degradation."""
+
+    def __init__(self, config: PoolConfig) -> None:
+        self.config = config
+        self.workers = resolve_workers(config.workers)
+        self.mode = "unstarted"
+        self._lock = threading.Lock()
+        self._executor = None
+        self._counters = {"submitted": 0, "completed": 0, "failed": 0}
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Create the workers; must be called exactly once before ``submit``."""
+        if self._executor is not None:
+            raise RuntimeError("pool already started")
+        self._executor, self.mode = self._build_executor()
+
+    def _build_executor(self):
+        initargs = (self.config.cache_db, self.config.cache_max_entries)
+        if not self.config.force_inline:
+            executor = None
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    initargs=initargs,
+                )
+                # Force worker creation now: a pool that cannot fork must
+                # fail at startup (and degrade), not on the first request.
+                executor.submit(_worker_probe).result(timeout=60)
+                return executor, "process"
+            except Exception:
+                # Partially-forked workers, pipes and the queue-management
+                # thread must not leak into the thread-mode fallback.
+                if executor is not None:
+                    executor.shutdown(wait=False, cancel_futures=True)
+        executor = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-worker",
+            initializer=_worker_init,
+            initargs=initargs,
+        )
+        # Probe this mode too: if the worker initializer itself is broken
+        # (e.g. an unusable cache_db path), the server must fail at startup
+        # with the real error — not report healthy and 500 every request.
+        try:
+            executor.submit(_worker_probe).result(timeout=60)
+        except Exception:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        return executor, "inline"
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; with ``wait`` the call blocks until jobs finish."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    # -------------------------------------------------------------- serving
+    def submit(self, job: Dict) -> Future:
+        """Queue one job dict; the future resolves to the response payload."""
+        with self._lock:
+            if self._executor is None:
+                raise RuntimeError("pool is not running")
+            try:
+                future = self._executor.submit(_worker_run, job)
+            except Exception:
+                # A worker died hard (OOM kill) and broke the pool: rebuild
+                # it once and retry, so one bad request cannot take the
+                # service down for good.
+                self._executor.shutdown(wait=False)
+                self._executor, self.mode = self._build_executor()
+                future = self._executor.submit(_worker_run, job)
+            self._counters["submitted"] += 1
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future: Future) -> None:
+        with self._lock:
+            if future.cancelled() or future.exception() is not None:
+                self._counters["failed"] += 1
+            else:
+                self._counters["completed"] += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Snapshot for ``/stats``."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {"mode": self.mode, "workers": self.workers, **counters}

@@ -24,6 +24,12 @@ def pytest_configure(config) -> None:
     config.addinivalue_line(
         "markers", "solver: exercises the numerical ILP/SDP solver backends"
     )
+    config.addinivalue_line(
+        "markers",
+        "service: exercises the decomposition server / worker pool / client "
+        "(the smoke tests stay in the tier-1 fast path; heavyweight sweeps "
+        "are additionally marked slow)",
+    )
 
 
 @pytest.fixture

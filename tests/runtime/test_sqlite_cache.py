@@ -1,0 +1,232 @@
+"""Tests for the SQLite-backed component cache.
+
+Covers the backend contract (replay equivalence with the in-memory LRU),
+durability across reopen, cross-process sharing, corruption recovery,
+schema-version invalidation, LRU eviction and the persistent counters the
+server's ``/stats`` endpoint reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.core.division import DivisionReport
+from repro.core.options import AlgorithmOptions, DivisionOptions
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.runtime import ComponentCache, InMemoryBackend, SqliteBackend, open_cache
+from repro.runtime.sqlite_cache import SCHEMA_VERSION, read_persistent_stats
+
+
+def _path_graph(offset: int = 0, length: int = 3) -> DecompositionGraph:
+    """Conflict path; ``offset`` shifts ids (same canonical key), ``length``
+    changes the structure (different canonical key)."""
+    return DecompositionGraph.from_edges(
+        [(offset + i, offset + i + 1) for i in range(length)]
+    )
+
+
+def _key_and_coloring(graph: DecompositionGraph):
+    key = ComponentCache().key_of(
+        graph, 4, "linear", AlgorithmOptions(), DivisionOptions()
+    )
+    coloring = {vertex: rank % 4 for rank, vertex in enumerate(graph.vertices())}
+    return key, coloring
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "components.db"
+
+
+class TestRoundTrip:
+    def test_lookup_matches_in_memory_backend(self, db_path):
+        """Same store/lookup sequence, same replayed records as the LRU."""
+        graph = _path_graph()
+        shifted = _path_graph(offset=100)  # isomorphic, different vertex ids
+        key, coloring = _key_and_coloring(graph)
+        report = DivisionReport(peeled_vertices=2, colored_pieces=1)
+
+        memory = ComponentCache(backend=InMemoryBackend())
+        sqlite_cache = ComponentCache(backend=SqliteBackend(db_path))
+        for cache in (memory, sqlite_cache):
+            cache.store(key, graph, coloring, report=report, solver_timeouts=1)
+        mem_rec = memory.lookup(key, shifted)
+        sql_rec = sqlite_cache.lookup(key, shifted)
+        assert sql_rec is not None
+        assert sql_rec.coloring == mem_rec.coloring
+        assert sql_rec.report == mem_rec.report
+        assert sql_rec.solver_timeouts == mem_rec.solver_timeouts == 1
+        sqlite_cache.close()
+
+    def test_miss_returns_none_and_counts(self, db_path):
+        cache = ComponentCache(backend=SqliteBackend(db_path))
+        assert cache.lookup("no-such-key", _path_graph()) is None
+        assert cache.stats.misses == 1
+        assert cache.backend.persistent_stats()["misses"] == 1
+        cache.close()
+
+    def test_persists_across_reopen(self, db_path):
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        first = ComponentCache(backend=SqliteBackend(db_path))
+        first.store(key, graph, coloring)
+        first.close()
+
+        second = ComponentCache(backend=SqliteBackend(db_path))
+        record = second.lookup(key, graph)
+        assert record is not None
+        assert record.coloring == coloring
+        second.close()
+
+
+def _child_store(db_path: str, length: int) -> None:
+    """Child-process body: solve-and-store one entry into the shared DB."""
+    graph = _path_graph(length=length)
+    key, coloring = _key_and_coloring(graph)
+    cache = open_cache(db_path=db_path)
+    cache.store(key, graph, coloring)
+    cache.close()
+
+
+class TestCrossProcess:
+    def test_two_processes_share_entries(self, db_path):
+        """An entry stored by another process is a hit here, and vice versa."""
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        parent = open_cache(db_path=str(db_path))
+        parent.store(key, graph, coloring)
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_child_store, args=(str(db_path), 7))
+        child.start()
+        child.join(30)
+        assert child.exitcode == 0
+
+        # Parent sees the child's (structurally different) entry...
+        child_graph = _path_graph(length=7)
+        child_key, child_coloring = _key_and_coloring(child_graph)
+        record = parent.lookup(child_key, child_graph)
+        assert record is not None and record.coloring == child_coloring
+        # ...and the persistent counters aggregated both processes' stores.
+        assert parent.backend.persistent_stats()["stores"] == 2
+        parent.close()
+
+
+class TestRecovery:
+    def test_garbage_file_is_rebuilt(self, db_path):
+        db_path.write_bytes(b"this is definitely not a sqlite database" * 32)
+        cache = ComponentCache(backend=SqliteBackend(db_path))
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        assert cache.lookup(key, graph) is None  # empty, not crashed
+        cache.store(key, graph, coloring)
+        assert cache.lookup(key, graph).coloring == coloring
+        cache.close()
+
+    def test_truncated_file_is_rebuilt(self, db_path):
+        # A valid header with the body chopped off: opens, then fails on read.
+        cache = ComponentCache(backend=SqliteBackend(db_path))
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        cache.store(key, graph, coloring)
+        cache.close()
+        db_path.write_bytes(db_path.read_bytes()[:100])
+        reopened = ComponentCache(backend=SqliteBackend(db_path))
+        reopened.store(key, graph, coloring)
+        assert reopened.lookup(key, graph).coloring == coloring
+        reopened.close()
+
+    def test_corrupt_payload_row_becomes_a_miss(self, db_path):
+        """A damaged row is dropped and re-solved, never raised to the caller."""
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        cache = ComponentCache(backend=SqliteBackend(db_path))
+        cache.store(key, graph, coloring)
+        with sqlite3.connect(str(db_path)) as conn:
+            conn.execute("UPDATE components SET payload = '{broken json'")
+        assert cache.lookup(key, graph) is None
+        assert len(cache) == 0  # the bad row is gone
+        cache.store(key, graph, coloring)
+        assert cache.lookup(key, graph).coloring == coloring
+        cache.close()
+
+    def test_schema_version_mismatch_invalidates(self, db_path):
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        cache = ComponentCache(backend=SqliteBackend(db_path))
+        cache.store(key, graph, coloring)
+        cache.close()
+
+        with sqlite3.connect(str(db_path)) as conn:
+            conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+
+        reopened = ComponentCache(backend=SqliteBackend(db_path))
+        assert len(reopened) == 0  # old entries dropped, not misread
+        assert reopened.lookup(key, graph) is None
+        reopened.store(key, graph, coloring)
+        assert reopened.lookup(key, graph).coloring == coloring
+        reopened.close()
+
+
+class TestEvictionAndStats:
+    def test_lru_eviction_bounds_entries(self, db_path):
+        backend = SqliteBackend(db_path, max_entries=2)
+        cache = ComponentCache(backend=backend)
+        graphs = [_path_graph(length=length) for length in (3, 4, 5)]
+        keys = []
+        for graph in graphs:
+            key, coloring = _key_and_coloring(graph)
+            keys.append(key)
+            cache.store(key, graph, coloring)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # Oldest (never re-used) entry went first.
+        assert cache.lookup(keys[0], graphs[0]) is None
+        assert cache.lookup(keys[2], graphs[2]) is not None
+        cache.close()
+
+    def test_invalid_max_entries_rejected(self, db_path):
+        with pytest.raises(ValueError):
+            SqliteBackend(db_path, max_entries=0)
+
+    def test_persistent_counters_survive_reopen(self, db_path):
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        cache = open_cache(db_path=str(db_path))
+        cache.store(key, graph, coloring)
+        assert cache.lookup(key, graph) is not None
+        cache.close()
+
+        stats = read_persistent_stats(db_path)
+        assert stats == {
+            "hits": 1,
+            "misses": 0,
+            "stores": 1,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_read_persistent_stats_missing_file(self, tmp_path):
+        assert read_persistent_stats(tmp_path / "never-created.db") is None
+
+
+class TestOpenCache:
+    def test_open_cache_selects_backend(self, db_path):
+        memory = open_cache()
+        assert isinstance(memory.backend, InMemoryBackend)
+        disk = open_cache(db_path=str(db_path))
+        assert isinstance(disk.backend, SqliteBackend)
+        disk.close()
+
+    def test_frontend_rejects_double_sizing(self, db_path):
+        backend = SqliteBackend(db_path, max_entries=4)
+        with pytest.raises(ValueError):
+            ComponentCache(max_entries=4, backend=backend)
+        assert ComponentCache(backend=backend).max_entries == 4
+        backend.close()

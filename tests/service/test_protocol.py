@@ -1,0 +1,137 @@
+"""Unit tests for the service wire schema (no sockets involved)."""
+
+from __future__ import annotations
+
+import base64
+
+import pytest
+
+from repro.bench.factory import wire_row_layout
+from repro.core.decomposer import Decomposer
+from repro.io.gds import write_gds
+from repro.service.protocol import (
+    ProtocolError,
+    build_options,
+    canonical_json,
+    parse_batch_request,
+    parse_decompose_request,
+    parse_layout,
+    result_to_payload,
+    run_job,
+)
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def layout():
+    return wire_row_layout(num_wires=3, wire_length=400)
+
+
+class TestParseLayout:
+    def test_json_layout_roundtrip(self, layout):
+        name, parsed = parse_layout({"layout": layout.to_dict(), "name": "wires"})
+        assert name == "wires"
+        assert parsed.to_dict() == layout.to_dict()
+
+    def test_gds_b64_roundtrip(self, layout, tmp_path):
+        gds = tmp_path / "wires.gds"
+        write_gds(layout, gds)
+        encoded = base64.b64encode(gds.read_bytes()).decode("ascii")
+        name, parsed = parse_layout({"gds_b64": encoded})
+        assert name == "gds-upload"
+        assert len(parsed) == len(layout)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # neither source
+            {"layout": {}, "gds_b64": "AAAA"},  # both sources
+            {"layout": "not a dict"},
+            {"layout": {"format": "wrong-marker"}},
+            {"gds_b64": "!!! not base64 !!!"},
+        ],
+    )
+    def test_bad_layout_payloads(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_layout(payload)
+
+
+class TestParseRequests:
+    def test_defaults_applied(self, layout):
+        job = parse_decompose_request({"layout": layout.to_dict()})
+        assert job["colors"] == 4
+        assert job["algorithm"] == "sdp-backtrack"
+        assert job["layer"] == layout.layers()[0]
+
+    def test_unknown_algorithm_rejected(self, layout):
+        with pytest.raises(ProtocolError, match="unknown algorithm"):
+            parse_decompose_request(
+                {"layout": layout.to_dict(), "algorithm": "quantum"}
+            )
+
+    def test_bad_colors_rejected(self, layout):
+        with pytest.raises(ProtocolError, match="colors"):
+            parse_decompose_request({"layout": layout.to_dict(), "colors": "four"})
+
+    def test_out_of_range_colors_is_protocol_error(self, layout):
+        """ConfigurationError from the options layer must surface as a 400."""
+        with pytest.raises(ProtocolError):
+            parse_decompose_request({"layout": layout.to_dict(), "colors": 1})
+
+    def test_batch_defaults_propagate(self, layout):
+        jobs = parse_batch_request(
+            {
+                "layouts": [
+                    {"layout": layout.to_dict(), "name": "a"},
+                    {"layout": layout.to_dict(), "name": "b", "colors": 5},
+                ],
+                "algorithm": "linear",
+                "colors": 4,
+            }
+        )
+        assert [job["name"] for job in jobs] == ["a", "b"]
+        assert [job["colors"] for job in jobs] == [4, 5]  # item overrides batch
+        assert all(job["algorithm"] == "linear" for job in jobs)
+
+    def test_batch_reports_bad_item_position(self, layout):
+        with pytest.raises(ProtocolError, match=r"layouts\[1\]"):
+            parse_batch_request(
+                {"layouts": [{"layout": layout.to_dict()}, {"bogus": 1}]}
+            )
+
+    def test_batch_requires_layouts(self):
+        with pytest.raises(ProtocolError, match="layouts"):
+            parse_batch_request({"layouts": []})
+
+    def test_batch_names_only_deduped_on_collision(self, layout):
+        jobs = parse_batch_request(
+            {
+                "layouts": [
+                    {"layout": layout.to_dict(), "name": "adder"},
+                    {"layout": layout.to_dict(), "name": "mult"},
+                    {"layout": layout.to_dict(), "name": "adder"},
+                ]
+            }
+        )
+        assert [job["name"] for job in jobs] == ["adder", "mult", "adder#1"]
+
+
+class TestResponses:
+    def test_run_job_matches_direct_decomposer(self, layout):
+        job = parse_decompose_request(
+            {"layout": layout.to_dict(), "algorithm": "linear", "name": "wires"}
+        )
+        served = run_job(job, lambda options: Decomposer(options))
+        direct = Decomposer(build_options(4, "linear")).decompose(
+            layout, layer=job["layer"]
+        )
+        expected = result_to_payload("wires", job["layer"], direct)
+        assert canonical_json(served) == canonical_json(expected)
+
+    def test_canonical_json_ignores_timing(self, layout):
+        job = parse_decompose_request({"layout": layout.to_dict(), "algorithm": "linear"})
+        payload = run_job(job, lambda options: Decomposer(options))
+        jittered = dict(payload, seconds=payload["seconds"] + 123.0)
+        assert canonical_json(payload) == canonical_json(jittered)
+        assert canonical_json(payload) != canonical_json(dict(payload, conflicts=99))

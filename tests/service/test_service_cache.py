@@ -1,0 +1,114 @@
+"""Served-result correctness with the persistent SQLite cache.
+
+The acceptance bar of the service PR: a served ``POST /decompose`` response
+must be bit-identical to a direct ``Decomposer`` run with the cache cold
+*and* warm, and killing/restarting the server with the same ``--cache-db``
+must reuse cached components (session hit count > 0, observed via
+``GET /stats``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.circuits import TABLE1_CIRCUITS, load_circuit
+from repro.bench.factory import repeated_cell_layout
+from repro.core.decomposer import Decomposer
+from repro.service import ServerConfig, ServerThread, ServiceClient
+from repro.service.protocol import build_options, canonical_json, result_to_payload
+
+pytestmark = pytest.mark.service
+
+
+def _direct_payload(layout, name, algorithm="linear", colors=4):
+    layer = layout.layers()[0]
+    result = Decomposer(build_options(colors, algorithm)).decompose(layout, layer=layer)
+    return result_to_payload(name, layer, result)
+
+
+class TestRestartReusesCache:
+    def test_restart_with_same_db_hits_cache(self, tmp_path):
+        """Second server on the same --cache-db replays, identically."""
+        db = str(tmp_path / "cells.db")
+        layout = repeated_cell_layout(copies=4)
+        expected = canonical_json(_direct_payload(layout, "cells"))
+
+        config = ServerConfig(port=0, workers=1, cache_db=db, force_inline_pool=True)
+        with ServerThread(config) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            cold = client.decompose(layout, name="cells", algorithm="linear")
+            cold_stats = client.stats()["cache"]
+        assert canonical_json(cold) == expected
+        assert cold_stats["backend"] == "sqlite"
+        assert cold_stats["session"]["stores"] > 0
+
+        # A brand-new server process state, same database file.
+        with ServerThread(
+            ServerConfig(port=0, workers=1, cache_db=db, force_inline_pool=True)
+        ) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            warm = client.decompose(layout, name="cells", algorithm="linear")
+            warm_stats = client.stats()["cache"]
+        assert canonical_json(warm) == expected
+        # Every component replayed from the predecessor's entries.
+        assert warm_stats["session"]["hits"] > 0
+        assert warm_stats["session"]["misses"] == 0
+        assert warm_stats["session"]["stores"] == 0
+
+    def test_restart_hits_through_process_pool(self, tmp_path):
+        """The same guarantee with real worker processes sharing the DB."""
+        db = str(tmp_path / "cells.db")
+        layout = repeated_cell_layout(copies=4)
+        expected = canonical_json(_direct_payload(layout, "cells"))
+        for round_index in range(2):
+            with ServerThread(
+                ServerConfig(port=0, workers=2, cache_db=db)
+            ) as (host, port):
+                client = ServiceClient(host, port)
+                client.wait_until_healthy()
+                served = client.decompose(layout, name="cells", algorithm="linear")
+                cache_stats = client.stats()["cache"]
+            assert canonical_json(served) == expected
+            if round_index == 1:
+                assert cache_stats["session"]["hits"] > 0
+
+
+@pytest.mark.slow
+class TestBenchCircuitSweep:
+    """Acceptance sweep: every Table 1 circuit, served == direct, cold+warm."""
+
+    SCALE = 0.2
+    ALGORITHM = "linear"
+
+    def test_all_bench_circuits_cold_and_warm(self, tmp_path):
+        db = str(tmp_path / "bench.db")
+        circuits = {
+            name: load_circuit(name, scale=self.SCALE) for name in TABLE1_CIRCUITS
+        }
+        expected = {
+            name: canonical_json(
+                _direct_payload(layout, name, algorithm=self.ALGORITHM)
+            )
+            for name, layout in circuits.items()
+        }
+        config = ServerConfig(
+            port=0, workers=1, cache_db=db, force_inline_pool=True, queue_limit=64
+        )
+        # Cold pass fills the store; the warm pass (fresh server, same DB)
+        # must replay every circuit bit-identically.
+        for round_name in ("cold", "warm"):
+            with ServerThread(config) as (host, port):
+                client = ServiceClient(host, port)
+                client.wait_until_healthy()
+                for name, layout in circuits.items():
+                    served = client.decompose(
+                        layout, name=name, algorithm=self.ALGORITHM
+                    )
+                    assert canonical_json(served) == expected[name], (
+                        f"{round_name} serve of {name} diverged from direct run"
+                    )
+                cache_stats = client.stats()["cache"]
+            if round_name == "warm":
+                assert cache_stats["session"]["hits"] > 0
