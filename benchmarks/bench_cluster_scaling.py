@@ -1,0 +1,168 @@
+"""Benchmark: multi-node scaling and cache affinity of the cluster.
+
+Launches an in-process cluster (N node servers + one coordinator, all on
+ephemeral localhost ports — the same topology ``repro-decompose cluster``
+runs across machines) and pushes a standard-cell-heavy workload through the
+coordinator for N ∈ {1, 2, 3} nodes, recording:
+
+* cold-pass wall time and throughput (layouts/s, components routed/s);
+* the warm-pass **cache-affinity hit rate** — the fraction of routed
+  components the owner node answered from its component cache, which the
+  consistent-hash routing should drive to 1.0 on a repeated workload.
+
+A standalone run
+
+    python benchmarks/bench_cluster_scaling.py
+
+writes ``benchmarks/artifacts/cluster_scaling.json``.
+
+Caveat recorded in the artifact (PR 1 convention): on a single-CPU runner —
+and, more generally, whenever all nodes share one host — node counts cannot
+speed up the *solve* side, so ``scaling_measurable`` is ``false`` and the
+numbers measure routing/transport overhead plus affinity, not speedup.
+Re-run with nodes on separate machines (or at least separate cores with
+process pools) to record a real scaling curve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.bench.factory import repeated_cell_layout, wire_row_layout
+from repro.bench.synthetic import SyntheticSpec, generate_layout
+from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
+from repro.geometry.layout import Layout
+from repro.service import ServerConfig, ServerThread
+
+NODE_COUNTS = [1, 2, 3]
+ALGORITHM = "linear"
+
+#: A mixed workload: repeated standard cells (cache-friendly), wire rows and
+#: two synthetic circuits (many distinct components).
+def build_workload() -> List[Tuple[str, Layout]]:
+    workload: List[Tuple[str, Layout]] = [
+        ("cells-4", repeated_cell_layout(copies=4)),
+        ("cells-8", repeated_cell_layout(copies=8)),
+        ("wires-6", wire_row_layout(num_wires=6, wire_length=900)),
+    ]
+    for seed in (11, 23):
+        spec = SyntheticSpec(
+            name=f"synthetic-{seed}",
+            rows=4,
+            tracks_per_row=4,
+            row_length=3000,
+            fill_rate=0.6,
+            cluster_rate=1.0,
+            seed=seed,
+        )
+        workload.append((spec.name, generate_layout(spec)))
+    return workload
+
+
+ARTIFACT_PATH = Path(__file__).parent / "artifacts" / "cluster_scaling.json"
+
+
+def _run_cluster(num_nodes: int, workload: List[Tuple[str, Layout]]) -> Dict:
+    """Measure one cluster size: cold pass, warm pass, affinity, teardown."""
+    nodes = [
+        ServerThread(ServerConfig(port=0, workers=1, force_inline_pool=True))
+        for _ in range(num_nodes)
+    ]
+    peers = []
+    try:
+        for node in nodes:
+            host, port = node.start()
+            peers.append(f"{host}:{port}")
+        coordinator = CoordinatorThread(
+            CoordinatorConfig(port=0, peers=peers, probe_interval=60.0, queue_limit=64)
+        )
+        try:
+            client = ClusterClient(*coordinator.start())
+            client.wait_until_healthy()
+            passes = {}
+            counters = {}
+            for pass_name in ("cold", "warm"):
+                before = client.stats()["coordinator"]
+                start = time.perf_counter()
+                for name, layout in workload:
+                    client.decompose(layout, name=name, algorithm=ALGORITHM)
+                passes[pass_name] = time.perf_counter() - start
+                after = client.stats()["coordinator"]
+                counters[pass_name] = {
+                    "routed": after["components_routed"] - before["components_routed"],
+                    "hits": after["component_cache_hits"]
+                    - before["component_cache_hits"],
+                }
+            stats = client.stats()
+            coord = stats["coordinator"]
+            routed_per_node = {
+                node_id: state["routed"] for node_id, state in stats["nodes"].items()
+            }
+            warm = counters["warm"]
+            return {
+                "nodes": num_nodes,
+                "cold_seconds": round(passes["cold"], 4),
+                "warm_seconds": round(passes["warm"], 4),
+                "layouts_per_second_cold": round(len(workload) / passes["cold"], 3),
+                "layouts_per_second_warm": round(len(workload) / passes["warm"], 3),
+                "components_routed": coord["components_routed"],
+                "component_cache_hits": coord["component_cache_hits"],
+                # Every warm-pass component re-routes to the node that cached
+                # it on the cold pass, so this rate should be 1.0.
+                "warm_affinity_hit_rate": round(warm["hits"] / warm["routed"], 3)
+                if warm["routed"]
+                else 0.0,
+                "reroutes": coord["reroutes"],
+                "routed_per_node": routed_per_node,
+            }
+        finally:
+            coordinator.stop()
+    finally:
+        for node in nodes:
+            node.stop()
+
+
+def record_artifact(path: Path = ARTIFACT_PATH) -> dict:
+    """Run the scaling sweep once and write the JSON artifact."""
+    cpu_count = os.cpu_count() or 1
+    scaling_measurable = cpu_count > 1
+    note = None
+    if not scaling_measurable:
+        note = (
+            "1 CPU visible: all in-process nodes share one core, so node "
+            "counts measure routing/transport overhead and cache affinity, "
+            "not solve speedup; re-run with nodes on separate cores/machines"
+        )
+        print(f"bench_cluster_scaling: {note}")
+    workload = build_workload()
+    runs = [_run_cluster(num_nodes, workload) for num_nodes in NODE_COUNTS]
+    payload = {
+        "benchmark": "cluster_scaling",
+        "algorithm": ALGORITHM,
+        "cpu_count": cpu_count,
+        "scaling_measurable": scaling_measurable,
+        "note": note,
+        "workload_layouts": len(workload),
+        "workload_shapes": sum(len(layout) for _, layout in workload),
+        "runs": runs,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+if __name__ == "__main__":
+    result = record_artifact()
+    for run in result["runs"]:
+        print(
+            f"nodes={run['nodes']}: cold={run['cold_seconds']:.3f}s "
+            f"warm={run['warm_seconds']:.3f}s "
+            f"({run['layouts_per_second_warm']:.1f} layouts/s warm) "
+            f"affinity={run['warm_affinity_hit_rate']:.0%} "
+            f"routed={run['routed_per_node']}"
+        )
+    print(f"artifact written to {ARTIFACT_PATH}")

@@ -39,6 +39,12 @@ For request traffic, :mod:`repro.service` wraps it all in a long-running
 asyncio HTTP server (``repro-decompose serve`` / ``python -m repro.service``)
 with a persistent worker pool and a SQLite-backed component cache shared
 across processes and restarts; see README "Running as a service".
+
+To scale past one machine, :mod:`repro.cluster` shards the work across many
+such servers: a coordinator (``repro-decompose cluster coordinator``) routes
+every divided component to its cache-owning node via a consistent-hash ring
+and merges results byte-identically, with heartbeat-driven failover; see
+README "Running a cluster".
 """
 
 from repro.errors import (

@@ -1,10 +1,12 @@
 """Command line interface.
 
-Five subcommands::
+Seven subcommands::
 
     repro-decompose decompose INPUT [--algorithm linear --colors 4 --output masks.gds]
     repro-decompose batch INPUT [INPUT ...] [--workers 4 --cache-db cells.db --json report.json]
     repro-decompose serve [--port 8000 --workers 0 --cache-db cells.db]
+    repro-decompose cluster node|coordinator [...]
+    repro-decompose prefill --cache-db cells.db INPUT [INPUT ...]
     repro-decompose stats INPUT
     repro-decompose generate CIRCUIT [--scale 0.35 --output circuit.json]
 
@@ -22,8 +24,19 @@ Results are bit-identical to running ``decompose`` on each input serially.
 ``serve`` runs the long-lived decomposition server of
 :mod:`repro.service` (also reachable as ``python -m repro.service``): a
 persistent worker pool behind ``POST /decompose`` / ``POST /batch`` /
-``GET /healthz`` / ``GET /stats``, with the same SQLite cache flags so
-solved components persist across requests and restarts.
+``POST /component`` / ``GET /healthz`` / ``GET /stats`` / ``GET /metrics``,
+with the same SQLite cache flags so solved components persist across
+requests and restarts.
+
+``cluster`` runs the multi-node roles of :mod:`repro.cluster`: ``cluster
+node`` is a decomposition server acting as a shard (identical flags to
+``serve``), ``cluster coordinator`` (also ``python -m repro.cluster``) is
+the front end that routes each divided component to its cache-owning node
+via a consistent-hash ring and merges results byte-identically.
+
+``prefill`` warms a ``--cache-db`` offline: it decomposes a cell library
+once and stores every solved component, so nodes mounting that database
+start with a hot cache.
 """
 
 from __future__ import annotations
@@ -90,17 +103,41 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.errors import ConfigurationError
-    from repro.runtime import decompose_many, open_cache
+def _load_named_layouts(paths) -> list:
+    """Load CLI input paths into the (name, layout) pairs the batch API takes."""
+    return [(Path(path).stem, _load_layout(path)) for path in paths]
 
-    named = []
-    for path in args.inputs:
-        layout = _load_layout(path)
-        named.append((Path(path).stem, layout))
+
+def _solve_options_from(args: argparse.Namespace) -> DecomposerOptions:
+    """Build DecomposerOptions from the shared --colors/--algorithm/--min-spacing."""
     options = _options_for(args.colors, args.algorithm)
     if args.min_spacing is not None:
         options.construction.min_coloring_distance = args.min_spacing
+    return options
+
+
+def _open_cli_cache(db_path, max_entries):
+    """Open a component cache, keeping the CLI's "error: ..." contract for
+    bad --cache-db paths instead of a raw traceback."""
+    import sqlite3
+
+    from repro.errors import ConfigurationError
+    from repro.runtime import open_cache
+
+    try:
+        return open_cache(db_path=db_path, max_entries=max_entries)
+    except (OSError, sqlite3.Error, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot open component cache ({db_path or 'in-memory'}): {exc}"
+        ) from exc
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.runtime import decompose_many
+
+    named = _load_named_layouts(args.inputs)
+    options = _solve_options_from(args)
 
     if args.no_cache:
         if args.cache_db or args.cache_max_entries is not None:
@@ -109,19 +146,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         cache = False
     else:
-        import sqlite3
-
-        try:
-            cache = open_cache(
-                db_path=args.cache_db, max_entries=args.cache_max_entries
-            )
-        except (OSError, sqlite3.Error, ValueError) as exc:
-            # Keep the CLI's "error: ..." contract for bad --cache-db paths
-            # instead of a raw traceback.
-            raise ConfigurationError(
-                f"cannot open component cache "
-                f"({args.cache_db or 'in-memory'}): {exc}"
-            ) from exc
+        cache = _open_cli_cache(args.cache_db, args.cache_max_entries)
 
     from repro.errors import LayoutIOError
 
@@ -159,10 +184,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ServerConfig, run_server
+def _server_config_from(args: argparse.Namespace):
+    from repro.service import ServerConfig
 
-    config = ServerConfig(
+    return ServerConfig(
         host=args.host,
         port=args.port,
         workers=args.workers,
@@ -173,7 +198,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body_bytes=args.max_body_mb * 1024 * 1024,
         force_inline_pool=args.inline_pool,
     )
-    return run_server(config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import run_server
+
+    return run_server(_server_config_from(args))
+
+
+def _cmd_cluster_node(args: argparse.Namespace) -> int:
+    from repro.service import run_server
+
+    # A node *is* a decomposition server — the shard role only adds traffic
+    # on POST /component, routed here by the coordinators' hash ring.
+    return run_server(_server_config_from(args))
+
+
+def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
+    from repro.cluster import CoordinatorConfig, run_coordinator
+
+    peers = [
+        peer.strip()
+        for chunk in args.peers
+        for peer in chunk.split(",")
+        if peer.strip()
+    ]
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        peers=peers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        probe_interval=args.probe_interval,
+        failure_threshold=args.failure_threshold,
+        virtual_nodes=args.virtual_nodes,
+        component_timeout=args.component_timeout,
+        fanout_threads=args.fanout_threads,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+    )
+    return run_coordinator(config)
+
+
+def _cmd_prefill(args: argparse.Namespace) -> int:
+    from repro.runtime import decompose_many
+
+    named = _load_named_layouts(args.inputs)
+    options = _solve_options_from(args)
+    cache = _open_cli_cache(args.cache_db, args.cache_max_entries)
+    try:
+        before = cache.snapshot_stats()
+        batch = decompose_many(
+            named,
+            options=options,
+            layer=args.layer,
+            workers=args.workers,
+            cache=cache,
+        )
+        for item in batch.items:
+            print(item.summary())
+        after = cache.snapshot_stats()
+        print(
+            f"prefilled {args.cache_db}: {after.entries_hint} components stored "
+            f"({after.misses - before.misses} solved this run, "
+            f"{after.hits - before.hits} replayed) in {batch.total_seconds:.3f}s; "
+            f"point 'repro-decompose cluster node --cache-db {args.cache_db}' or "
+            f"'serve --cache-db {args.cache_db}' at it to start warm"
+        )
+    finally:
+        cache.close()
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -194,6 +287,59 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     _save_layout(layout, output)
     print(f"generated {len(layout)} shapes for {args.circuit} -> {output}")
     return 0
+
+
+def _add_server_flags(parser: argparse.ArgumentParser, default_port: int) -> None:
+    """Flags shared by ``serve`` and ``cluster node`` (one server, two roles)."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=default_port,
+        help="TCP port (0 = ephemeral, printed on start)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="max queued+in-flight jobs before requests get 503 + Retry-After",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request solve budget in seconds (504 beyond it)",
+    )
+    parser.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="PATH",
+        help="SQLite component cache shared by workers and across restarts",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the component cache to N entries (LRU eviction)",
+    )
+    parser.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="largest accepted request body in MiB",
+    )
+    parser.add_argument(
+        "--inline-pool",
+        action="store_true",
+        help="run jobs on threads in-process instead of worker processes",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -291,61 +437,164 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the decomposition server (persistent worker pool + HTTP API)",
         description=(
             "Start the long-running decomposition service: an asyncio HTTP "
-            "front end (POST /decompose, POST /batch, GET /healthz, "
-            "GET /stats) over a pool of worker processes created once at "
-            "startup.  With --cache-db, solved components persist in a "
-            "SQLite store shared by every worker and surviving restarts.  "
-            "Served masks are bit-identical to the serial decompose flow.  "
-            "Also invocable as 'python -m repro.service'."
+            "front end (POST /decompose, POST /batch, POST /component, "
+            "GET /healthz, GET /stats, GET /metrics) over a pool of worker "
+            "processes created once at startup.  With --cache-db, solved "
+            "components persist in a SQLite store shared by every worker "
+            "and surviving restarts.  Served masks are bit-identical to the "
+            "serial decompose flow.  Also invocable as "
+            "'python -m repro.service'."
         ),
     )
-    serve.add_argument("--host", default="127.0.0.1", help="bind address")
-    serve.add_argument(
-        "--port", type=int, default=8000, help="TCP port (0 = ephemeral, printed on start)"
+    _add_server_flags(serve, default_port=8000)
+    serve.set_defaults(func=_cmd_serve)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run a multi-node decomposition cluster role (node / coordinator)",
+        description=(
+            "Multi-node sharded decomposition.  'node' runs one shard (a "
+            "decomposition server whose component cache owns a hash range); "
+            "'coordinator' runs the front end that splits layouts into "
+            "canonical components, routes each to its cache-owning node via "
+            "a consistent-hash ring, and merges results byte-identically to "
+            "a single-process run.  Kill a node and the coordinator "
+            "rebalances the ring and re-routes in-flight components."
+        ),
     )
-    serve.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="worker processes (0 = one per CPU)",
+    roles = cluster.add_subparsers(dest="role", required=True)
+
+    node = roles.add_parser(
+        "node",
+        help="run one cluster shard (decomposition server + component endpoint)",
+        description=(
+            "One cluster shard.  Identical to 'serve' — the coordinators "
+            "add traffic on POST /component.  Give every node of a cluster "
+            "its own --cache-db (or its own disk): a node owns the cache "
+            "for its hash range, so sharing one database across shards is "
+            "unnecessary.  Use 'repro-decompose prefill' to warm the cache "
+            "before the node joins."
+        ),
     )
-    serve.add_argument(
+    _add_server_flags(node, default_port=8001)
+    node.set_defaults(func=_cmd_cluster_node)
+
+    coordinator = roles.add_parser(
+        "coordinator",
+        help="run the cluster front end (hash-routes components to nodes)",
+        description=(
+            "The cluster front end: accepts the same POST /decompose and "
+            "POST /batch API as 'serve', shards every layout's components "
+            "across the --peers nodes by canonical hash, and merges the "
+            "results.  Any number of coordinators with the same --peers "
+            "list route identically (placement is deterministic), so "
+            "coordinators scale out statelessly.  Also invocable as "
+            "'python -m repro.cluster'."
+        ),
+    )
+    coordinator.add_argument("--host", default="127.0.0.1", help="bind address")
+    coordinator.add_argument(
+        "--port", type=int, default=8100, help="TCP port (0 = ephemeral, printed on start)"
+    )
+    coordinator.add_argument(
+        "--peers",
+        action="append",
+        required=True,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="cluster nodes (repeat the flag or separate with commas)",
+    )
+    coordinator.add_argument(
         "--queue-limit",
         type=int,
-        default=32,
-        help="max queued+in-flight jobs before requests get 503 + Retry-After",
+        default=16,
+        help="max queued+in-flight layout jobs before requests get 503 + Retry-After",
     )
-    serve.add_argument(
+    coordinator.add_argument(
         "--timeout",
         type=float,
         default=300.0,
         help="per-request solve budget in seconds (504 beyond it)",
     )
-    serve.add_argument(
-        "--cache-db",
-        default=None,
-        metavar="PATH",
-        help="SQLite component cache shared by workers and across restarts",
+    coordinator.add_argument(
+        "--probe-interval",
+        type=float,
+        default=2.0,
+        help="seconds between node heartbeat probes",
     )
-    serve.add_argument(
+    coordinator.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=2,
+        help="consecutive failed heartbeats before a node leaves the ring",
+    )
+    coordinator.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=64,
+        help="virtual nodes per physical node on the consistent-hash ring",
+    )
+    coordinator.add_argument(
+        "--component-timeout",
+        type=float,
+        default=120.0,
+        help="per-component node request timeout in seconds",
+    )
+    coordinator.add_argument(
+        "--fanout-threads",
+        type=int,
+        default=8,
+        help="threads fanning component requests out to nodes",
+    )
+    coordinator.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="largest accepted request body in MiB",
+    )
+    coordinator.set_defaults(func=_cmd_cluster_coordinator)
+
+    prefill = subparsers.add_parser(
+        "prefill",
+        help="warm a --cache-db offline by decomposing a cell library",
+        description=(
+            "Decompose LAYOUTS once and store every solved component in the "
+            "SQLite cache at --cache-db, so a server or cluster node "
+            "mounting that file starts with a warm cache (repeated cells "
+            "are replayed instead of re-solved from the first request on)."
+        ),
+    )
+    prefill.add_argument("inputs", nargs="+", help="input layouts (.gds or .json)")
+    prefill.add_argument(
+        "--cache-db",
+        required=True,
+        metavar="PATH",
+        help="SQLite component cache file to create or extend",
+    )
+    prefill.add_argument(
         "--cache-max-entries",
         type=int,
         default=None,
         metavar="N",
         help="bound the component cache to N entries (LRU eviction)",
     )
-    serve.add_argument(
-        "--max-body-mb",
+    prefill.add_argument("--layer", default=None, help="layer to decompose (default: first)")
+    prefill.add_argument("--colors", type=int, default=4, help="number of masks K")
+    prefill.add_argument(
+        "--algorithm",
+        default="sdp-backtrack",
+        choices=list(DecomposerOptions.KNOWN_ALGORITHMS),
+        help="color assignment algorithm",
+    )
+    prefill.add_argument(
+        "--min-spacing", type=int, default=None, help="override min coloring distance (nm)"
+    )
+    prefill.add_argument(
+        "--workers",
         type=int,
-        default=64,
-        help="largest accepted request body in MiB",
+        default=1,
+        help="worker processes for component coloring (1 = serial, 0 = one per CPU)",
     )
-    serve.add_argument(
-        "--inline-pool",
-        action="store_true",
-        help="run jobs on threads in-process instead of worker processes",
-    )
-    serve.set_defaults(func=_cmd_serve)
+    prefill.set_defaults(func=_cmd_prefill)
 
     stats = subparsers.add_parser("stats", help="print layout statistics")
     stats.add_argument("input", help="input layout (.gds or .json)")

@@ -1,0 +1,17 @@
+"""``python -m repro.cluster`` — the cluster coordinator entry point.
+
+Delegates to the ``cluster coordinator`` subcommand of the main CLI so the
+two surfaces (``repro-decompose cluster coordinator ...`` and
+``python -m repro.cluster ...``) accept identical flags and never drift
+apart.  (Nodes are ``repro-decompose cluster node`` — a decomposition
+server plus the component endpoint.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["cluster", "coordinator", *sys.argv[1:]]))

@@ -1,0 +1,67 @@
+"""Blocking client for the cluster coordinator.
+
+:class:`ClusterClient` speaks the same wire protocol as
+:class:`~repro.service.client.ServiceClient` — a coordinator is a drop-in
+service endpoint — and adds coordinator failover: give it several
+coordinator addresses and a request that cannot *reach* one (connection
+refused/reset, i.e. ``ServiceError.status == 0``) transparently moves to
+the next.  Because component placement is a pure function of the node set,
+every coordinator routes identically, so failing over between coordinators
+preserves both results and cache affinity.
+
+HTTP-level errors (400/422/503/...) are **not** failed over: they are
+answers, not reachability problems — a 503 carries the cluster's
+backpressure and must reach the caller.
+
+::
+
+    client = ClusterClient("127.0.0.1", 8100, fallbacks=[("10.0.0.2", 8100)])
+    client.wait_until_healthy()
+    response = client.decompose(layout, algorithm="linear")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.service.client import Address, ServiceClient, ServiceError
+
+
+class ClusterClient(ServiceClient):
+    """Client bound to one or more equivalent coordinator addresses."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 600.0,
+        fallbacks: Iterable[Address] = (),
+    ) -> None:
+        super().__init__(host, port, timeout=timeout)
+        self.addresses: Tuple[Address, ...] = ((host, port), *fallbacks)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        address: Optional[Address] = None,
+    ) -> Dict:
+        if address is not None:
+            return super()._request(method, path, payload, address=address)
+        last: Optional[ServiceError] = None
+        for candidate in self.addresses:
+            try:
+                return super()._request(method, path, payload, address=candidate)
+            except ServiceError as exc:
+                if exc.status != 0:
+                    raise  # an HTTP answer, not an unreachable coordinator
+                last = exc
+        assert last is not None
+        raise ServiceError(
+            0, f"no coordinator reachable at {list(self.addresses)}: {last}"
+        ) from last
+
+    def ring(self) -> Dict:
+        """Fetch the coordinator's consistent-hash ring view (``GET /ring``)."""
+        return self._request("GET", "/ring")

@@ -1,0 +1,617 @@
+"""The cluster coordinator: sharded decomposition with cache-affinity routing.
+
+:class:`ClusterCoordinator` is a drop-in front end for the single-node
+service — it accepts the exact ``POST /decompose`` / ``POST /batch`` schema
+of :mod:`repro.service.protocol` — but instead of solving on a local worker
+pool it **shards by component**:
+
+1. the layout's decomposition graph is built locally and divided into
+   connected components (the same division the serial pipeline performs);
+2. identical components are deduplicated through their canonical hash
+   (:mod:`repro.runtime.hashing`) — the coordinator solves each distinct
+   component once per request, like the PR 1 scheduler;
+3. each distinct component is routed to the node *owning* its hash on the
+   consistent-hash ring (:mod:`repro.cluster.ring`) and shipped as a
+   ``POST /component`` job over a keep-alive connection;
+4. rank-space colorings come back and are merged deterministically, so the
+   cluster's response is **byte-identical** to a direct
+   :meth:`Decomposer.decompose` run — sharding changes where components are
+   solved, never what is computed.
+
+Cache affinity is the point of the routing rule: a component hash has one
+owner node, so that node's component cache accumulates every solution for
+its key range, and any coordinator routing the same standard cell later
+gets a cache hit (observable via ``repro_server_component_cache_hits_total``
+on the node and ``component_cache_hits`` on the coordinator).
+
+Failure handling: a component request that dies on a *connection* error
+marks the node dead (:meth:`Membership.mark_dead`), rebalances the ring and
+re-routes the component to the new owner — bounded by ``max_reroutes`` — so
+killing a node mid-batch degrades throughput, never correctness.  A node
+answering ``503`` (queue full) is *not* dead; its backpressure propagates
+through the coordinator as a ``503`` with ``Retry-After``, keeping the
+overload contract end-to-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposer import DecompositionResult, make_colorer
+from repro.core.division import DivisionReport
+from repro.core.evaluation import (
+    DecompositionSolution,
+    check_complete,
+    count_conflicts,
+    count_stitches,
+)
+from repro.core.options import DecomposerOptions
+from repro.errors import ReproError
+from repro.geometry.layout import Layout
+from repro.graph.components import connected_components
+from repro.graph.construction import build_decomposition_graph
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.cluster.membership import Membership, NoNodesAvailable
+from repro.runtime.component_io import (
+    ComponentSolve,
+    ComponentWireError,
+    component_request,
+    parse_component_response,
+)
+from repro.runtime.hashing import canonical_component_key
+from repro.service.base import BaseHttpServer, ThreadedServer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import DEFAULT_MAX_BODY_BYTES, HttpRequest, error_body, json_body
+from repro.service.metrics import (
+    METRICS_CONTENT_TYPE,
+    counter_family,
+    gauge_family,
+    render_metrics,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    build_options,
+    parse_batch_request,
+    parse_decompose_request,
+    result_to_payload,
+)
+
+
+class NodeBusyError(ReproError):
+    """A node shed a component with 503 — propagated, not retried elsewhere.
+
+    Re-routing overload to another node would defeat both the cache
+    affinity (the component would be solved and stored off its owner) and
+    the backpressure contract, so the coordinator surfaces the 503.
+    """
+
+    def __init__(self, node_id: str, retry_after: Optional[float]) -> None:
+        super().__init__(f"node {node_id} is at capacity")
+        self.node_id = node_id
+        self.retry_after = retry_after
+
+
+class NodeRequestError(ReproError):
+    """A node answered a component request with a non-503 error (HTTP 502)."""
+
+    def __init__(self, node_id: str, status: int, message: str) -> None:
+        super().__init__(f"node {node_id} failed component request: HTTP {status}: {message}")
+        self.node_id = node_id
+        self.status = status
+
+
+class ClusterRoutingError(ReproError):
+    """Re-routing a component exhausted ``max_reroutes`` attempts (HTTP 502)."""
+
+
+@dataclass
+class CoordinatorConfig:
+    """Static configuration of one :class:`ClusterCoordinator`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (reported by :meth:`start`).
+    port: int = 8100
+    #: Static node list, each ``host:port`` of a ``repro-decompose cluster node``.
+    peers: List[str] = field(default_factory=list)
+    #: Maximum queued + in-flight layout jobs before requests are shed with 503.
+    queue_limit: int = 16
+    #: Per-request solve budget in seconds (504 beyond it).
+    request_timeout: float = 300.0
+    #: Value of the ``Retry-After`` header on 503 responses.
+    retry_after_seconds: int = 1
+    #: Seconds between heartbeat probes of the peer nodes.
+    probe_interval: float = 2.0
+    #: Heartbeat / health-probe connection timeout in seconds.
+    probe_timeout: float = 2.0
+    #: Consecutive failed probes before a node is marked dead.
+    failure_threshold: int = 2
+    #: Virtual nodes per physical node on the consistent-hash ring.
+    virtual_nodes: int = 64
+    #: Re-route attempts per component before giving up (``0`` = one try per
+    #: configured peer, the sensible default for total-cluster death).
+    max_reroutes: int = 0
+    #: Threads fanning component requests out to nodes.
+    fanout_threads: int = 8
+    #: Threads executing layout jobs (graph construction + merge).
+    job_threads: int = 4
+    #: Per-component node request timeout in seconds.
+    component_timeout: float = 120.0
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    #: Seconds a connection may idle before sending a complete request.
+    header_timeout: float = 30.0
+
+
+class ClusterCoordinator(BaseHttpServer):
+    """Multi-node decomposition front end with consistent-hash routing."""
+
+    queue_noun = "coordinator"
+
+    def __init__(self, config: CoordinatorConfig) -> None:
+        super().__init__(
+            host=config.host,
+            port=config.port,
+            max_body_bytes=config.max_body_bytes,
+            header_timeout=config.header_timeout,
+            queue_limit=config.queue_limit,
+            request_timeout=config.request_timeout,
+            retry_after_seconds=config.retry_after_seconds,
+        )
+        self.config = config
+        self.membership = Membership(
+            config.peers,
+            probe_interval=config.probe_interval,
+            probe_timeout=config.probe_timeout,
+            failure_threshold=config.failure_threshold,
+            virtual_nodes=config.virtual_nodes,
+        )
+        self._clients = {
+            node.node_id: ServiceClient(
+                node.host, node.port, timeout=config.component_timeout
+            )
+            for node in self.membership.nodes()
+        }
+        self._counters.update(
+            {"components_routed": 0, "component_cache_hits": 0, "reroutes": 0}
+        )
+        self._routed: Dict[str, int] = {
+            node_id: 0 for node_id in sorted(self._clients)
+        }
+        #: Guards the counters mutated from fan-out threads.
+        self._counter_lock = threading.Lock()
+        self._jobs_executor: Optional[ThreadPoolExecutor] = None
+        self._fanout_executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------ lifecycle
+    async def _on_start(self, loop: asyncio.AbstractEventLoop) -> None:
+        # Jobs and fan-out get separate pools: a layout job blocks a jobs
+        # thread while it waits on its components, so sharing one pool would
+        # deadlock under load.
+        self._jobs_executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.job_threads),
+            thread_name_prefix="repro-coord-job",
+        )
+        self._fanout_executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.fanout_threads),
+            thread_name_prefix="repro-coord-fanout",
+        )
+        self.membership.start()
+
+    async def _on_bind_failed(self, loop: asyncio.AbstractEventLoop) -> None:
+        await loop.run_in_executor(None, self._close_backend)
+
+    async def _on_shutdown(self, loop: asyncio.AbstractEventLoop) -> None:
+        await loop.run_in_executor(None, self._close_backend)
+
+    def _close_backend(self) -> None:
+        self.membership.stop()
+        if self._jobs_executor is not None:
+            self._jobs_executor.shutdown(wait=True)
+            self._jobs_executor = None
+        if self._fanout_executor is not None:
+            self._fanout_executor.shutdown(wait=True)
+            self._fanout_executor = None
+        for client in self._clients.values():
+            client.close()
+
+    # ------------------------------------------------------------- requests
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        route = (request.method, request.path.split("?", 1)[0])
+        if route == ("GET", "/healthz"):
+            return 200, json_body(self._healthz()), None
+        if route == ("GET", "/stats"):
+            return 200, json_body(self._stats()), None
+        if route == ("GET", "/metrics"):
+            text = coordinator_metrics_text(self._stats())
+            return 200, text.encode("utf-8"), {"Content-Type": METRICS_CONTENT_TYPE}
+        if route == ("GET", "/ring"):
+            return 200, json_body(self._ring_view()), None
+        if route == ("POST", "/decompose"):
+            return await self._serve_jobs(request, batch=False)
+        if route == ("POST", "/batch"):
+            return await self._serve_jobs(request, batch=True)
+        known = ("/healthz", "/stats", "/metrics", "/ring", "/decompose", "/batch")
+        if route[1] in known:
+            return (*error_body(405, f"{request.method} not allowed on {route[1]}"), None)
+        return (*error_body(404, f"no such endpoint {route[1]!r}"), None)
+
+    async def _serve_jobs(
+        self, request: HttpRequest, batch: bool
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        loop = asyncio.get_running_loop()
+
+        def _decode_jobs() -> List[Dict]:
+            payload = request.json()
+            if batch:
+                return parse_batch_request(payload)
+            return [parse_decompose_request(payload)]
+
+        try:
+            jobs = await loop.run_in_executor(None, _decode_jobs)
+        except ProtocolError as exc:
+            self._counters["invalid"] += 1
+            return (*error_body(400, str(exc)), None)
+
+        results, error = await self._execute_jobs(jobs)
+        if error is not None:
+            return error
+        self._counters["served"] += len(jobs)
+
+        def _encode_response() -> bytes:
+            if not batch:
+                return json_body(results[0])
+            aggregate = {
+                "layouts": len(results),
+                "conflicts": sum(r["conflicts"] for r in results),
+                "stitches": sum(r["stitches"] for r in results),
+            }
+            return json_body({"items": results, "aggregate": aggregate})
+
+        return 200, await loop.run_in_executor(None, _encode_response), None
+
+    # ----------------------------------------------------- job control hooks
+    async def _submit_jobs(self, loop, jobs: List[Dict], release_slot):
+        assert self._jobs_executor is not None
+        futures = []
+        for job in jobs:
+            future = self._jobs_executor.submit(self._decompose_job, job)
+            future.add_done_callback(release_slot)
+            futures.append(future)
+        return futures, None
+
+    def _map_job_error(self, exc: BaseException):
+        if isinstance(exc, NodeBusyError):
+            # Backpressure from a node's admission control: propagate it with
+            # the node's own Retry-After hint so clients back off end-to-end.
+            self._counters["rejected"] += 1
+            retry_after = exc.retry_after or self.config.retry_after_seconds
+            status, body = error_body(
+                503, f"{exc}; retry later", retry_after=retry_after
+            )
+            return status, body, {"Retry-After": str(retry_after)}
+        if isinstance(exc, NoNodesAvailable):
+            self._counters["rejected"] += 1
+            status, body = error_body(
+                503, f"{exc}; retry later", retry_after=self.config.retry_after_seconds
+            )
+            return status, body, {"Retry-After": str(self.config.retry_after_seconds)}
+        if isinstance(exc, (NodeRequestError, ClusterRoutingError, ComponentWireError)):
+            self._counters["failed"] += 1
+            return (*error_body(502, str(exc)), None)
+        if isinstance(exc, ProtocolError):
+            self._counters["invalid"] += 1
+            return (*error_body(400, str(exc)), None)
+        if isinstance(exc, ReproError):
+            self._counters["failed"] += 1
+            return (*error_body(422, f"decomposition failed: {exc}"), None)
+        self._counters["failed"] += 1
+        return (*error_body(500, f"coordinator failure: {exc}"), None)
+
+    def _timeout_message(self) -> str:
+        return f"decomposition exceeded {self.config.request_timeout}s"
+
+    # --------------------------------------------------- clustered decompose
+    def _decompose_job(self, job: Dict) -> Dict:
+        """Decompose one layout job by sharding its components across nodes.
+
+        Runs on a jobs thread; blocking.  The construction, division,
+        dedup-by-hash and merge mirror :class:`repro.runtime.scheduler`
+        exactly, which is what keeps cluster output byte-identical to a
+        direct :class:`Decomposer` run.
+        """
+        start_total = time.perf_counter()
+        layout = Layout.from_dict(job["layout"])
+        options = build_options(
+            colors=job["colors"],
+            algorithm=job["algorithm"],
+            min_spacing=job.get("min_spacing"),
+        )
+        construction = build_decomposition_graph(
+            layout, layer=job["layer"], options=options.construction
+        )
+        graph = construction.graph
+        report = DivisionReport()
+        report.num_vertices = graph.num_vertices
+        start_color = time.perf_counter()
+        coloring = self._color_graph(graph, options, report)
+        color_seconds = time.perf_counter() - start_color
+        check_complete(graph, coloring, options.num_colors)
+        solution = DecompositionSolution(
+            coloring=coloring,
+            num_colors=options.num_colors,
+            conflicts=count_conflicts(graph, coloring),
+            stitches=count_stitches(graph, coloring),
+            algorithm=make_colorer(
+                options.algorithm, options.num_colors, options.algorithm_options
+            ).name,
+            color_assignment_seconds=color_seconds,
+            graph=graph,
+            alpha=options.algorithm_options.alpha,
+        )
+        solution.total_seconds = time.perf_counter() - start_total
+        result = DecompositionResult(
+            solution=solution,
+            construction=construction,
+            division_report=report,
+            options=options,
+        )
+        return result_to_payload(job["name"], job["layer"], result)
+
+    def _color_graph(
+        self,
+        graph: DecompositionGraph,
+        options: DecomposerOptions,
+        report: DivisionReport,
+    ) -> Dict[int, int]:
+        """Divide, route, and deterministically merge one graph's components."""
+        if graph.num_vertices == 0:
+            return {}
+        if options.division.independent_components:
+            components = connected_components(graph)
+        else:
+            components = [graph.vertices()]
+        report.num_connected_components = len(components)
+
+        subgraphs: Dict[int, DecompositionGraph] = {}
+        groups: Dict[str, List[int]] = {}
+        for index, component in enumerate(components):
+            subgraph = graph.subgraph(component)
+            key = canonical_component_key(
+                subgraph,
+                options.num_colors,
+                options.algorithm,
+                options.algorithm_options,
+                options.division,
+            )
+            subgraphs[index] = subgraph
+            groups.setdefault(key, []).append(index)
+
+        assert self._fanout_executor is not None
+        futures = {
+            key: self._fanout_executor.submit(
+                self._solve_component,
+                key,
+                subgraphs[indices[0]],
+                options.num_colors,
+                options.algorithm,
+            )
+            for key, indices in groups.items()
+        }
+
+        coloring: Dict[int, int] = {}
+        first_error: Optional[BaseException] = None
+        # Always drain every future (abandoning them would leak fan-out
+        # threads into later requests), then re-raise the first failure.
+        for key, indices in sorted(groups.items(), key=lambda kv: kv[1][0]):
+            try:
+                solve = futures[key].result()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            for index in indices:
+                coloring.update(solve.coloring_for(subgraphs[index]))
+                report.merge_from(solve.report)
+        if first_error is not None:
+            raise first_error
+        return coloring
+
+    def _solve_component(
+        self, key: str, subgraph: DecompositionGraph, colors: int, algorithm: str
+    ) -> ComponentSolve:
+        """Route one distinct component to its owner node, with failover."""
+        wire = component_request(subgraph, colors, algorithm)
+        limit = self.config.max_reroutes or max(1, len(self.membership))
+        attempts = 0
+        while True:
+            node_id = self.membership.owner(key)  # raises NoNodesAvailable
+            client = self._clients[node_id]
+            try:
+                payload = client.component(wire)
+            except ServiceError as exc:
+                if exc.status == 503:
+                    raise NodeBusyError(node_id, exc.retry_after) from exc
+                if exc.is_timeout:
+                    # The node accepted the request and is still solving: a
+                    # slow component, not a dead node.  Marking it dead would
+                    # cascade the same heavy solve across every node; if the
+                    # node really is partitioned away, the heartbeat probes
+                    # will time out too and retire it through membership.
+                    raise NodeRequestError(
+                        node_id, 504, f"component solve timed out: {exc}"
+                    ) from exc
+                if exc.status == 0:
+                    # Hard connection failure: the node is gone.  Shrink the
+                    # ring now and re-route to the new owner of this range.
+                    self.membership.mark_dead(node_id, str(exc))
+                    attempts += 1
+                    with self._counter_lock:
+                        self._counters["reroutes"] += 1
+                    if attempts > limit:
+                        raise ClusterRoutingError(
+                            f"component {key[:12]} re-routed {attempts} times "
+                            f"without finding a live node"
+                        ) from exc
+                    continue
+                raise NodeRequestError(node_id, exc.status, str(exc)) from exc
+            solve = parse_component_response(payload)
+            with self._counter_lock:
+                self._counters["components_routed"] += 1
+                self._routed[node_id] += 1
+                if solve.cache_hit:
+                    self._counters["component_cache_hits"] += 1
+            return solve
+
+    # ------------------------------------------------------------ telemetry
+    def _healthz(self) -> Dict[str, object]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "role": "coordinator",
+            "nodes": {
+                "alive": self.membership.alive_count(),
+                "total": len(self.membership),
+            },
+            "inflight": self._inflight,
+            "uptime_seconds": self.uptime_seconds(),
+        }
+
+    def _stats(self) -> Dict[str, object]:
+        with self._counter_lock:
+            counters = dict(self._counters)
+            routed = dict(self._routed)
+        membership = self.membership.snapshot()
+        nodes = {
+            node_id: {**state, "routed": routed.get(node_id, 0)}
+            for node_id, state in membership.pop("nodes").items()
+        }
+        return {
+            "coordinator": {
+                **counters,
+                "inflight": self._inflight,
+                "queue_limit": self.config.queue_limit,
+                "uptime_seconds": self.uptime_seconds(),
+            },
+            "nodes": nodes,
+            "membership": membership,
+        }
+
+    def _ring_view(self) -> Dict[str, object]:
+        ring = self.membership.ring()
+        return {
+            "virtual_nodes": ring.virtual_nodes,
+            "alive_nodes": list(ring.nodes),
+            "all_nodes": sorted(self._clients),
+        }
+
+
+def coordinator_metrics_text(stats: Dict) -> str:
+    """Render a coordinator ``/stats`` snapshot as Prometheus text."""
+    coordinator: Dict = stats.get("coordinator", {})
+    nodes: Dict = stats.get("nodes", {})
+    membership: Dict = stats.get("membership", {})
+    families = [
+        counter_family(
+            "repro_coordinator_requests_total",
+            "HTTP requests by terminal result.",
+            [
+                ({"result": result}, coordinator.get(result, 0))
+                for result in ("received", "served", "rejected", "failed", "timeouts", "invalid")
+            ],
+        ),
+        counter_family(
+            "repro_coordinator_components_routed_total",
+            "Components routed to each node by consistent-hash ownership.",
+            [
+                ({"node": node_id}, state.get("routed", 0))
+                for node_id, state in sorted(nodes.items())
+            ],
+        ),
+        counter_family(
+            "repro_coordinator_component_cache_hits_total",
+            "Routed components the owner node answered from its cache "
+            "(cache-affinity hit count).",
+            [({}, coordinator.get("component_cache_hits", 0))],
+        ),
+        counter_family(
+            "repro_coordinator_reroutes_total",
+            "Components re-routed after a node connection failure.",
+            [({}, coordinator.get("reroutes", 0))],
+        ),
+        counter_family(
+            "repro_coordinator_rebalances_total",
+            "Consistent-hash ring rebuilds caused by liveness transitions.",
+            [({}, membership.get("rebalances", 0))],
+        ),
+        gauge_family(
+            "repro_coordinator_nodes",
+            "Cluster nodes by liveness.",
+            [
+                ({"state": "alive"}, membership.get("alive", 0)),
+                (
+                    {"state": "dead"},
+                    membership.get("total", 0) - membership.get("alive", 0),
+                ),
+            ],
+        ),
+        gauge_family(
+            "repro_coordinator_inflight_jobs",
+            "Layout jobs admitted and not yet finished (queue depth).",
+            [({}, coordinator.get("inflight", 0))],
+        ),
+        gauge_family(
+            "repro_coordinator_queue_limit",
+            "Admission-control bound on queued + in-flight layout jobs.",
+            [({}, coordinator.get("queue_limit", 0))],
+        ),
+        gauge_family(
+            "repro_coordinator_uptime_seconds",
+            "Seconds since the coordinator started.",
+            [({}, coordinator.get("uptime_seconds", 0.0))],
+        ),
+    ]
+    return render_metrics(families)
+
+
+def run_coordinator(config: CoordinatorConfig) -> int:
+    """Blocking entry point used by ``repro-decompose cluster coordinator``.
+
+    Prints the bound address on startup (machine-parsable first line) and
+    drains cleanly on SIGTERM/SIGINT.
+    """
+
+    async def _main() -> None:
+        coordinator = ClusterCoordinator(config)
+        host, port = await coordinator.start()
+        coordinator.install_signal_handlers()
+        print(f"repro-coordinator: listening on http://{host}:{port}", flush=True)
+        print(
+            f"repro-coordinator: peers={','.join(config.peers)} "
+            f"virtual_nodes={config.virtual_nodes} "
+            f"queue_limit={config.queue_limit}",
+            flush=True,
+        )
+        await coordinator.wait_stopped()
+        print("repro-coordinator: drained, exiting", flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
+class CoordinatorThread(ThreadedServer):
+    """A :class:`ClusterCoordinator` on a background thread (tests, examples).
+
+    ::
+
+        with CoordinatorThread(CoordinatorConfig(port=0, peers=[...])) as (host, port):
+            client = ClusterClient(host, port)
+            ...
+    """
+
+    def __init__(self, config: CoordinatorConfig) -> None:
+        super().__init__(ClusterCoordinator(config))

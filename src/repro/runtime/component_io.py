@@ -1,0 +1,306 @@
+"""JSON wire schema of one decomposition-graph component.
+
+The cluster's unit of work is a single divided component (the same unit the
+process scheduler of :mod:`repro.runtime.scheduler` ships to worker
+processes), so this module is the component-level counterpart of
+:mod:`repro.service.protocol`: one owner for the request/response shapes
+that cross the coordinator → node HTTP boundary.
+
+Request (``POST /component``)::
+
+    {
+      "graph": {
+        "version": 1,
+        "vertices": [[id, shape_id, fragment, weight], ...],
+        "conflict_edges": [[u, v], ...],
+        "stitch_edges":   [[u, v], ...],
+        "friend_edges":   [[u, v], ...]
+      },
+      "colors": 4,
+      "algorithm": "sdp-backtrack"
+    }
+
+Response::
+
+    {
+      "key": "<canonical component hash>",
+      "vertices": n,
+      "cache_hit": true,
+      "coloring": [c0, c1, ...],      # canonical *rank* space
+      "report": {... DivisionReport delta ...},
+      "solver_timeouts": 0
+    }
+
+The coloring travels in canonical rank space (rank = position in sorted
+vertex-id order), exactly how the component cache stores records: the
+coordinator replays it onto its own vertex ids through the rank map, and —
+because the canonical relabeling is order-preserving and every colorer is
+equivariant under it (see :mod:`repro.runtime.hashing`) — the replayed
+coloring is bit-identical to solving the component locally.  That property
+is what lets a cluster answer byte-for-byte like a single
+:class:`~repro.core.decomposer.Decomposer`.
+
+Solve parameters stay scalar (``colors``/``algorithm``): both sides expand
+them through the same preset tables, so the canonical cache key computed by
+the node always matches the one the coordinator routed on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.division import DivisionReport
+from repro.core.options import DecomposerOptions
+from repro.errors import ReproError
+from repro.graph.decomposition_graph import DecompositionGraph, VertexData
+from repro.runtime.cache import ComponentCache
+from repro.runtime.hashing import canonical_component_key, canonical_vertex_order
+
+#: Bump when the graph wire layout changes (checked by :func:`graph_from_wire`).
+GRAPH_WIRE_VERSION = 1
+
+#: DivisionReport counters that cross the wire (the per-component delta).
+_REPORT_FIELDS = (
+    "peeled_vertices",
+    "num_biconnected_blocks",
+    "num_ghtree_parts",
+    "colored_pieces",
+    "largest_colored_piece",
+)
+
+
+class ComponentWireError(ReproError):
+    """Raised for malformed component requests/responses (HTTP 400)."""
+
+
+def options_for(colors: int, algorithm: str) -> DecomposerOptions:
+    """Expand wire-level solve scalars into full :class:`DecomposerOptions`.
+
+    **The single preset mapping in the codebase**: the coordinator (routing),
+    the nodes (solving) and :func:`repro.service.protocol.build_options`
+    (whole-layout requests) all delegate here, so the algorithm/division
+    option sets — and therefore the canonical component keys — can never
+    diverge between the routing side and the solving side.
+    """
+    if not isinstance(colors, int) or isinstance(colors, bool):
+        raise ComponentWireError(f"'colors' must be an integer, got {colors!r}")
+    if algorithm not in DecomposerOptions.KNOWN_ALGORITHMS:
+        raise ComponentWireError(
+            f"unknown algorithm {algorithm!r}; "
+            f"known: {sorted(DecomposerOptions.KNOWN_ALGORITHMS)}"
+        )
+    try:
+        if colors == 4:
+            options = DecomposerOptions.for_quadruple_patterning(algorithm)
+        elif colors == 5:
+            options = DecomposerOptions.for_pentuple_patterning(algorithm)
+        else:
+            options = DecomposerOptions.for_k_patterning(colors, algorithm)
+        options.validate()
+    except ReproError as exc:
+        raise ComponentWireError(str(exc)) from exc
+    return options
+
+
+# --------------------------------------------------------------------- graph
+def graph_to_wire(graph: DecompositionGraph) -> Dict:
+    """Serialise ``graph`` to the JSON-level wire dict."""
+    vertices = []
+    for vertex in graph.vertices():
+        data = graph.vertex_data(vertex)
+        vertices.append([vertex, data.shape_id, data.fragment, data.weight])
+    return {
+        "version": GRAPH_WIRE_VERSION,
+        "vertices": vertices,
+        "conflict_edges": [list(edge) for edge in graph.conflict_edges()],
+        "stitch_edges": [list(edge) for edge in graph.stitch_edges()],
+        "friend_edges": [list(edge) for edge in graph.friend_edges()],
+    }
+
+
+def graph_from_wire(payload: Dict) -> DecompositionGraph:
+    """Rebuild a :class:`DecompositionGraph` from its wire dict."""
+    if not isinstance(payload, dict):
+        raise ComponentWireError("'graph' must be a JSON object")
+    version = payload.get("version")
+    if version != GRAPH_WIRE_VERSION:
+        raise ComponentWireError(
+            f"unsupported graph wire version {version!r} "
+            f"(this node speaks version {GRAPH_WIRE_VERSION})"
+        )
+    graph = DecompositionGraph()
+    try:
+        for vertex, shape_id, fragment, weight in payload["vertices"]:
+            graph.add_vertex(
+                int(vertex),
+                VertexData(shape_id=shape_id, fragment=int(fragment), weight=int(weight)),
+            )
+        for u, v in payload.get("conflict_edges", ()):
+            graph.add_conflict_edge(int(u), int(v))
+        for u, v in payload.get("stitch_edges", ()):
+            graph.add_stitch_edge(int(u), int(v))
+        for u, v in payload.get("friend_edges", ()):
+            graph.add_friend_edge(int(u), int(v))
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise ComponentWireError(f"invalid 'graph' payload: {exc}") from exc
+    return graph
+
+
+# ------------------------------------------------------------------- request
+def component_request(graph: DecompositionGraph, colors: int, algorithm: str) -> Dict:
+    """Build one ``POST /component`` request payload."""
+    return {"graph": graph_to_wire(graph), "colors": colors, "algorithm": algorithm}
+
+
+def validate_component_request(payload: Dict) -> None:
+    """Cheap structural validation run in the node's server process.
+
+    Catches client mistakes at the door (HTTP 400) without paying for a full
+    graph rebuild on the server side — the worker that solves the job does
+    the authoritative decode.
+    """
+    if not isinstance(payload, dict):
+        raise ComponentWireError("request body must be a JSON object")
+    options_for(payload.get("colors", 4), payload.get("algorithm", "sdp-backtrack"))
+    graph = payload.get("graph")
+    if not isinstance(graph, dict):
+        raise ComponentWireError("'graph' must be a JSON object")
+    if graph.get("version") != GRAPH_WIRE_VERSION:
+        raise ComponentWireError(
+            f"unsupported graph wire version {graph.get('version')!r}"
+        )
+    vertices = graph.get("vertices")
+    if not isinstance(vertices, list):
+        raise ComponentWireError("'graph.vertices' must be an array")
+    try:
+        known = {int(entry[0]) for entry in vertices}
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ComponentWireError(f"invalid 'graph.vertices' entries: {exc}") from exc
+    for edge_set in ("conflict_edges", "stitch_edges", "friend_edges"):
+        edges = graph.get(edge_set, [])
+        if not isinstance(edges, list):
+            raise ComponentWireError(f"'graph.{edge_set}' must be an array")
+        for edge in edges:
+            if (
+                not isinstance(edge, (list, tuple))
+                or len(edge) != 2
+                or edge[0] not in known
+                or edge[1] not in known
+            ):
+                raise ComponentWireError(
+                    f"'graph.{edge_set}' entry {edge!r} does not join known vertices"
+                )
+
+
+# ------------------------------------------------------------------ response
+def report_to_wire(report: DivisionReport) -> Dict[str, int]:
+    """Serialise a per-component :class:`DivisionReport` delta."""
+    return {name: getattr(report, name) for name in _REPORT_FIELDS}
+
+
+def report_from_wire(payload: Dict) -> DivisionReport:
+    """Rebuild a per-component :class:`DivisionReport` delta."""
+    if not isinstance(payload, dict):
+        raise ComponentWireError("'report' must be a JSON object")
+    try:
+        return DivisionReport(**{name: int(payload[name]) for name in _REPORT_FIELDS})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ComponentWireError(f"invalid 'report' payload: {exc}") from exc
+
+
+class ComponentSolve:
+    """One parsed ``POST /component`` response (coordinator side)."""
+
+    __slots__ = ("key", "ranks", "report", "solver_timeouts", "cache_hit")
+
+    def __init__(
+        self,
+        key: str,
+        ranks: List[int],
+        report: DivisionReport,
+        solver_timeouts: int,
+        cache_hit: bool,
+    ) -> None:
+        self.key = key
+        self.ranks = ranks
+        self.report = report
+        self.solver_timeouts = solver_timeouts
+        self.cache_hit = cache_hit
+
+    def coloring_for(self, graph: DecompositionGraph) -> Dict[int, int]:
+        """Replay the rank-space coloring onto ``graph``'s own vertex ids.
+
+        Valid for any component with the same canonical key as the one that
+        was solved — the same replay rule the component cache uses.
+        """
+        order = canonical_vertex_order(graph)
+        if len(order) != len(self.ranks):
+            raise ComponentWireError(
+                f"component response colors {len(self.ranks)} vertices, "
+                f"local component has {len(order)}"
+            )
+        return {vertex: self.ranks[rank] for rank, vertex in enumerate(order)}
+
+
+def parse_component_response(payload: Dict) -> ComponentSolve:
+    """Validate one component response into a :class:`ComponentSolve`."""
+    if not isinstance(payload, dict):
+        raise ComponentWireError("component response must be a JSON object")
+    ranks = payload.get("coloring")
+    if not isinstance(ranks, list) or not all(isinstance(c, int) for c in ranks):
+        raise ComponentWireError("'coloring' must be an array of integers")
+    key = payload.get("key")
+    if not isinstance(key, str):
+        raise ComponentWireError(f"'key' must be a string, got {key!r}")
+    return ComponentSolve(
+        key=key,
+        ranks=ranks,
+        report=report_from_wire(payload.get("report", {})),
+        solver_timeouts=int(payload.get("solver_timeouts", 0)),
+        cache_hit=bool(payload.get("cache_hit", False)),
+    )
+
+
+# --------------------------------------------------------------- node worker
+def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
+    """Execute one component job inside a node worker.
+
+    Consults the worker's component cache first (this is the cache-affinity
+    payoff: any coordinator routing canonical key H here finds the entry a
+    previous request stored), solves on a miss via the exact
+    :func:`~repro.core.division.color_component` path the serial pipeline
+    uses, and encodes the response in canonical rank space.
+    """
+    graph = graph_from_wire(job["graph"])
+    colors = job.get("colors", 4)
+    algorithm = job.get("algorithm", "sdp-backtrack")
+    options = options_for(colors, algorithm)
+    key = canonical_component_key(
+        graph, colors, algorithm, options.algorithm_options, options.division
+    )
+    record = cache.lookup(key, graph) if cache is not None else None
+    cache_hit = record is not None
+    if record is not None:
+        coloring = record.coloring
+        report = record.report
+        solver_timeouts = record.solver_timeouts
+    else:
+        from repro.core.decomposer import make_colorer
+        from repro.core.division import color_component
+
+        colorer = make_colorer(algorithm, colors, options.algorithm_options)
+        report = DivisionReport()
+        coloring = color_component(graph, colorer, options.division, report)
+        report = report.component_delta()
+        solver_timeouts = int(getattr(colorer, "timeouts", 0))
+        if cache is not None:
+            cache.store(key, graph, coloring, report, solver_timeouts=solver_timeouts)
+    order = canonical_vertex_order(graph)
+    return {
+        "key": key,
+        "vertices": graph.num_vertices,
+        "cache_hit": cache_hit,
+        "coloring": [coloring[vertex] for vertex in order],
+        "report": report_to_wire(report),
+        "solver_timeouts": solver_timeouts,
+    }

@@ -24,12 +24,14 @@ runs, never what it computes.
 Run it with ``repro-decompose serve`` or ``python -m repro.service``.
 """
 
+from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.pool import PoolConfig, WorkerPool
 from repro.service.protocol import ProtocolError
 from repro.service.server import DecompositionServer, ServerConfig, ServerThread, run_server
 
 __all__ = [
+    "BaseHttpServer",
     "DecompositionServer",
     "PoolConfig",
     "ProtocolError",
@@ -37,6 +39,7 @@ __all__ = [
     "ServerThread",
     "ServiceClient",
     "ServiceError",
+    "ThreadedServer",
     "WorkerPool",
     "run_server",
 ]

@@ -1,0 +1,381 @@
+"""Shared asyncio HTTP server chassis for the serving subsystems.
+
+:class:`BaseHttpServer` owns everything about running a JSON-over-HTTP
+daemon that is *not* specific to what the daemon computes: the accept loop,
+the per-connection keep-alive request loop, idle-connection timeouts,
+request counters, signal handling and the graceful-drain protocol.  Two
+front ends ride on it:
+
+* :class:`repro.service.server.DecompositionServer` — the single-node
+  decomposition service over a persistent worker pool;
+* :class:`repro.cluster.coordinator.ClusterCoordinator` — the multi-node
+  front end that fans components out across cache-owning nodes.
+
+Subclasses implement :meth:`_dispatch` (route one request) plus the
+``_on_start`` / ``_on_bind_failed`` / ``_on_shutdown`` lifecycle hooks for
+whatever backend they own (worker pool, node membership, ...).  Endpoints
+that execute *jobs* share :meth:`_execute_jobs` — admission control
+(oversized-batch 400, queue-full/draining 503 + Retry-After), in-flight
+slot accounting released per job from done-callbacks (a 504'd request
+abandons jobs that keep running), the request timeout, and error mapping
+through the :meth:`_submit_jobs` / :meth:`_map_job_error` hooks — so the
+single-node server and the coordinator can never drift on the overload
+contract.
+
+Connection handling
+-------------------
+
+Connections are persistent (HTTP keep-alive): one task serves requests in a
+loop until the peer closes, asks for ``Connection: close``, idles past
+``header_timeout``, or the server starts draining.  While a connection is
+*between* requests its writer sits in ``_idle_writers``; a drain closes
+those immediately, so idle keep-alive peers can never stall shutdown — only
+genuinely in-flight requests are awaited.
+
+:class:`ThreadedServer` runs any :class:`BaseHttpServer` on a background
+thread with a context-manager lifecycle; it is the harness used by the
+tests, the examples and the in-process cluster benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.http import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    MAX_HEADER_BYTES,
+    error_body,
+    read_request,
+    wants_keep_alive,
+    write_response,
+)
+
+#: One request's terminal error response: (status, body, extra headers).
+ErrorResponse = Tuple[int, bytes, Optional[Dict[str, str]]]
+
+
+class BaseHttpServer:
+    """Asyncio HTTP daemon skeleton: lifecycle, connection loop, job control."""
+
+    #: How admission-control error messages name this daemon.
+    queue_noun = "server"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        header_timeout: float = 30.0,
+        queue_limit: int = 32,
+        request_timeout: float = 300.0,
+        retry_after_seconds: int = 1,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.header_timeout = header_timeout
+        self.queue_limit = queue_limit
+        self.request_timeout = request_timeout
+        self.retry_after_seconds = retry_after_seconds
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._idle_writers: set = set()
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._started_at = 0.0
+        self._inflight = 0
+        self._counters = {
+            "received": 0,
+            "served": 0,
+            "rejected": 0,
+            "failed": 0,
+            "timeouts": 0,
+            "invalid": 0,
+        }
+
+    # -------------------------------------------------------- subclass hooks
+    async def _on_start(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Bring up the backend before the socket binds (may raise)."""
+
+    async def _on_bind_failed(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Release backend resources when the socket bind itself failed."""
+
+    async def _on_shutdown(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Tear down the backend after every connection has drained."""
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        """Route one request; return (status, body, extra headers)."""
+        raise NotImplementedError
+
+    async def _submit_jobs(
+        self, loop: asyncio.AbstractEventLoop, jobs: List[Dict], release_slot
+    ):
+        """Hand admitted jobs to the backend.
+
+        Returns ``(futures, first submit error)``; every returned future
+        must carry ``release_slot`` as a done-callback (it owns that job's
+        in-flight slot from then on).
+        """
+        raise NotImplementedError
+
+    def _map_job_error(self, exc: BaseException) -> ErrorResponse:
+        """Map a job failure onto a terminal error response (and counters)."""
+        raise NotImplementedError
+
+    def _timeout_message(self) -> str:
+        return f"request exceeded {self.request_timeout}s"
+
+    # ---------------------------------------------------------- job control
+    async def _execute_jobs(
+        self, jobs: List[Dict]
+    ) -> Tuple[Optional[List[Dict]], Optional[ErrorResponse]]:
+        """Admission control + backend execution of parsed job dicts.
+
+        Returns ``(results, None)`` on success or ``(None, error response)``
+        when the request was shed, timed out or failed — the single place
+        where queue limits, in-flight slot accounting and the overload
+        contract live, shared by every job endpoint of every subclass.
+        """
+        loop = asyncio.get_running_loop()
+        if len(jobs) > self.queue_limit:
+            # Would never fit, even on an idle server: a permanent-client
+            # error, not transient overload — 503 + Retry-After would send
+            # the client into an infinite retry loop.
+            self._counters["invalid"] += 1
+            status, body = error_body(
+                400,
+                f"batch of {len(jobs)} layouts exceeds the {self.queue_noun}'s "
+                f"queue capacity of {self.queue_limit}; split the batch",
+            )
+            return None, (status, body, None)
+        if self._draining or self._inflight + len(jobs) > self.queue_limit:
+            self._counters["rejected"] += 1
+            reason = (
+                f"{self.queue_noun} is draining" if self._draining else "queue is full"
+            )
+            status, body = error_body(
+                503, f"{reason}; retry later", retry_after=self.retry_after_seconds
+            )
+            return None, (status, body, {"Retry-After": str(self.retry_after_seconds)})
+
+        # A slot is held from admission until its job leaves the backend —
+        # on the happy path that is when gather() resolves, but a 504'd
+        # request abandons jobs that keep running, so each submitted job
+        # releases its own slot from a done-callback instead of this
+        # coroutine.
+        self._inflight += len(jobs)
+
+        def _release_slot(_future=None) -> None:
+            try:
+                loop.call_soon_threadsafe(self._decrement_inflight)
+            except RuntimeError:  # loop already closed (late drain)
+                self._inflight -= 1
+
+        unsubmitted = len(jobs)
+        try:
+            futures, submit_error = await self._submit_jobs(loop, jobs, _release_slot)
+            unsubmitted = len(jobs) - len(futures)
+            if submit_error is not None:
+                raise submit_error
+            try:
+                results = await asyncio.wait_for(
+                    asyncio.gather(*[asyncio.wrap_future(f) for f in futures]),
+                    timeout=self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                self._counters["timeouts"] += 1
+                return None, (*error_body(504, self._timeout_message()), None)
+        except Exception as exc:
+            return None, self._map_job_error(exc)
+        finally:
+            # Only the never-submitted jobs' slots; the rest are released by
+            # their done-callbacks when the backend really finishes them.
+            self._inflight -= unsubmitted
+        return list(results), None
+
+    def _decrement_inflight(self) -> None:
+        self._inflight -= 1
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> Tuple[str, int]:
+        """Start the backend and the accept loop; return the bound (host, port)."""
+        loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        await self._on_start(loop)
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=MAX_HEADER_BYTES,
+            )
+        except Exception:
+            # e.g. EADDRINUSE: don't leak whatever _on_start brought up.
+            await self._on_bind_failed(loop)
+            raise
+        self._started_at = time.monotonic()
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.shutdown())
+            )
+
+    async def shutdown(self) -> None:
+        """Drain: stop accepting, finish in-flight work, stop the backend."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle keep-alive connections are waiting for a request that will
+        # never be served: close them now so only in-flight work is awaited.
+        for writer in list(self._idle_writers):
+            writer.close()
+        # wait_closed() does not wait for handler coroutines (3.11): drain
+        # the connections we track ourselves, then the backend.
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        await self._on_shutdown(asyncio.get_running_loop())
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain (signal- or call-initiated) completes."""
+        assert self._stopped is not None, "server was never started"
+        await self._stopped.wait()
+
+    def uptime_seconds(self) -> float:
+        return round(time.monotonic() - self._started_at, 3)
+
+    # -------------------------------------------------------------- requests
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                if self._draining:
+                    return
+                self._idle_writers.add(writer)
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader, self.max_body_bytes),
+                        timeout=self.header_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    # Idle or trickling peer: close it.  Also what bounds a
+                    # drain for connections that slipped past the idle-writer
+                    # close — they finish within the timeout.
+                    return
+                except HttpError as exc:
+                    self._counters["invalid"] += 1
+                    status, body = error_body(exc.status, exc.message)
+                    await write_response(writer, status, body, close=True)
+                    return
+                finally:
+                    self._idle_writers.discard(writer)
+                if request is None:
+                    return
+                self._counters["received"] += 1
+                try:
+                    status, body, extra = await self._dispatch(request)
+                except HttpError as exc:
+                    self._counters["invalid"] += 1
+                    status, body = error_body(exc.status, exc.message)
+                    extra = None
+                except Exception as exc:  # defensive: a handler bug must not kill the loop
+                    self._counters["failed"] += 1
+                    status, body = error_body(500, f"internal error: {exc}")
+                    extra = None
+                keep_alive = wants_keep_alive(request) and not self._draining
+                await write_response(
+                    writer, status, body, extra_headers=extra, close=not keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            self._idle_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class ThreadedServer:
+    """Any :class:`BaseHttpServer` on a background thread (tests, examples).
+
+    ::
+
+        with ThreadedServer(server) as (host, port):
+            ...
+
+    ``stop()`` performs the same graceful drain as SIGTERM.
+    """
+
+    def __init__(self, server: BaseHttpServer) -> None:
+        self.server = server
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 30.0) -> Tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            try:
+                self.address = await self.server.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.server.wait_stopped()
+
+        asyncio.run(_main())
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain and join; idempotent."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        assert self._loop is not None
+        asyncio.run_coroutine_threadsafe(self.server.shutdown(), self._loop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,10 +1,16 @@
 """Blocking HTTP client for the decomposition service.
 
 A deliberately small wrapper over :mod:`http.client` — enough for tests,
-examples and scripted callers to talk to :class:`DecompositionServer`
-without hand-writing requests.  Each call opens one connection (the server
-speaks ``Connection: close``), so a :class:`ServiceClient` is cheap, state-
-free and safe to share across threads.
+examples, the cluster coordinator and scripted callers to talk to
+:class:`DecompositionServer` without hand-writing requests.
+
+Connections are **persistent**: each thread keeps one keep-alive connection
+per server address and reuses it across calls, which is what makes the
+coordinator's component fan-out cheap (no TCP handshake per component).  A
+request that fails on a pooled connection — the server may have closed an
+idle connection between calls — is retried once on a fresh one; requests
+are deterministic solves, so the retry is safe.  The per-thread pooling
+keeps a shared :class:`ServiceClient` thread-safe.
 
 ::
 
@@ -19,26 +25,39 @@ from __future__ import annotations
 import base64
 import http.client
 import json
+import socket
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.geometry.layout import Layout
 
+#: One server address.
+Address = Tuple[str, int]
+
 
 class ServiceError(ReproError):
     """A non-2xx service response (or no response at all).
 
-    ``status`` is the HTTP status (0 when the connection itself failed) and
-    ``retry_after`` carries the server's backpressure hint on 503s.
+    ``status`` is the HTTP status (0 when the connection itself failed),
+    ``retry_after`` carries the server's backpressure hint on 503s, and
+    ``is_timeout`` distinguishes "the server did not answer in time" from
+    "the server is unreachable" — callers doing liveness inference (the
+    cluster coordinator) must not treat a slow solve as a dead node.
     """
 
     def __init__(
-        self, status: int, message: str, retry_after: Optional[float] = None
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        is_timeout: bool = False,
     ) -> None:
         super().__init__(f"HTTP {status}: {message}" if status else message)
         self.status = status
         self.retry_after = retry_after
+        self.is_timeout = is_timeout
 
 
 class ServiceClient:
@@ -48,37 +67,111 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._local = threading.local()
+        #: Every thread's connection pool, so :meth:`close` can reach them all.
+        self._pools: List[Dict[Address, http.client.HTTPConnection]] = []
+        self._pools_lock = threading.Lock()
 
     # ------------------------------------------------------------ transport
-    def _request(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
-        body = None
-        headers = {"Accept": "application/json", "Connection": "close"}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
+    def _connections(self) -> Dict[Address, http.client.HTTPConnection]:
+        pool = getattr(self._local, "connections", None)
+        if pool is None:
+            pool = {}
+            self._local.connections = pool
+            with self._pools_lock:
+                self._pools.append(pool)
+        return pool
+
+    def close(self) -> None:
+        """Close every pooled connection, across all threads.
+
+        Only safe once no request is in flight on this client (e.g. after
+        the threads using it have been joined) — the usual lifecycle of the
+        coordinator's fan-out pool and of test harnesses.
+        """
+        with self._pools_lock:
+            pools = list(self._pools)
+        for pool in pools:
+            for connection in list(pool.values()):
+                connection.close()
+            pool.clear()
+
+    def _request_bytes(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+        address: Address,
+    ):
+        """Send one request, reusing the thread's keep-alive connection.
+
+        Returns ``(status, response headers, raw body)``.  A failure on a
+        *reused* connection is retried once on a fresh one (the server may
+        have closed it while idle); a failure on a fresh connection is the
+        server being unreachable and raises ``ServiceError(status=0)``.
+        A timeout is never retried — the server is still working on the
+        request, and re-sending it would double the load.
+        """
+        host, port = address
+        pool = self._connections()
+        for attempt in (0, 1):
+            connection = pool.get(address)
+            fresh = connection is None
+            if connection is None:
+                connection = http.client.HTTPConnection(host, port, timeout=self.timeout)
+                pool[address] = connection
             try:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
+            except socket.timeout as exc:
+                # Caught before the OSError arm: a timeout means the server
+                # accepted the request and is (still) solving it — neither a
+                # stale connection nor a dead server.
+                connection.close()
+                pool.pop(address, None)
+                raise ServiceError(
+                    0,
+                    f"no response from {host}:{port} within {self.timeout}s: {exc}",
+                    is_timeout=True,
+                ) from exc
             except (ConnectionError, OSError, http.client.HTTPException) as exc:
-                raise ServiceError(0, f"cannot reach {self.host}:{self.port}: {exc}") from exc
-        finally:
-            connection.close()
+                connection.close()
+                pool.pop(address, None)
+                if not fresh and attempt == 0:
+                    continue  # stale keep-alive connection: one fresh retry
+                raise ServiceError(0, f"cannot reach {host}:{port}: {exc}") from exc
+            if response.will_close:
+                connection.close()
+                pool.pop(address, None)
+            return response.status, response.headers, raw
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        address: Optional[Address] = None,
+    ) -> Dict:
+        body = None
+        headers = {"Accept": "application/json", "Connection": "keep-alive"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        status, response_headers, raw = self._request_bytes(
+            method, path, body, headers, address or (self.host, self.port)
+        )
         try:
             decoded = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
-            raise ServiceError(
-                response.status, f"non-JSON response: {raw[:200]!r}"
-            ) from exc
-        if response.status >= 400:
+            raise ServiceError(status, f"non-JSON response: {raw[:200]!r}") from exc
+        if status >= 400:
             message = decoded.get("error", {}).get("message", raw.decode(errors="replace"))
-            retry_after = response.headers.get("Retry-After")
+            retry_after = response_headers.get("Retry-After")
             raise ServiceError(
-                response.status,
+                status,
                 message,
                 retry_after=float(retry_after) if retry_after else None,
             )
@@ -90,6 +183,19 @@ class ServiceClient:
 
     def stats(self) -> Dict:
         return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """Fetch ``GET /metrics`` (Prometheus text exposition format)."""
+        status, _, raw = self._request_bytes(
+            "GET",
+            "/metrics",
+            None,
+            {"Accept": "text/plain", "Connection": "keep-alive"},
+            (self.host, self.port),
+        )
+        if status >= 400:
+            raise ServiceError(status, raw.decode(errors="replace"))
+        return raw.decode("utf-8")
 
     def decompose(
         self,
@@ -132,6 +238,14 @@ class ServiceClient:
             if value is not None:
                 payload[key] = value
         return self._request("POST", "/batch", payload)
+
+    def component(self, payload: Dict) -> Dict:
+        """Solve one decomposition-graph component (``POST /component``).
+
+        ``payload`` is a :func:`repro.runtime.component_io.component_request`
+        dict; the response carries the canonical rank-space coloring.
+        """
+        return self._request("POST", "/component", payload)
 
     # ------------------------------------------------------------- helpers
     @staticmethod

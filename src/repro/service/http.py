@@ -5,9 +5,15 @@ python toolchain only), and ``http.server`` is thread-per-request — the
 wrong shape for an asyncio front end.  What a JSON RPC-style API actually
 needs from HTTP is small: parse a request line + headers + sized body, write
 a status + JSON body back, enforce limits.  This module is exactly that and
-nothing more: no chunked encoding, no keep-alive (every response closes the
-connection, which the stdlib ``http.client`` consumer handles natively), no
-TLS.
+nothing more: no chunked encoding, no TLS.
+
+Connections are persistent by default (HTTP/1.1 keep-alive semantics):
+:func:`wants_keep_alive` implements the standard negotiation and
+:func:`write_response` advertises the decision in the ``Connection`` header.
+The connection *loop* — serving many requests per connection — lives in
+:mod:`repro.service.base`; keep-alive is what makes the cluster
+coordinator's per-component fan-out cheap (one TCP handshake per node, not
+per component) and shaves a round-trip off every repeat client.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ _REASONS = {
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -53,6 +60,7 @@ class HttpRequest:
     path: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     def json(self):
         """Decode the body as JSON (``HttpError`` 400 on failure)."""
@@ -115,7 +123,23 @@ async def read_request(
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError as exc:
             raise HttpError(400, "request body shorter than Content-Length") from exc
-    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+    return HttpRequest(
+        method=method.upper(), path=path, headers=headers, body=body, version=version
+    )
+
+
+def wants_keep_alive(request: HttpRequest) -> bool:
+    """Standard HTTP persistence negotiation for one request.
+
+    HTTP/1.1 connections persist unless the client says ``Connection: close``;
+    HTTP/1.0 connections close unless the client says ``keep-alive``.
+    """
+    connection = request.headers.get("connection", "").lower()
+    if "close" in connection:
+        return False
+    if request.version == "HTTP/1.0":
+        return "keep-alive" in connection
+    return True
 
 
 async def write_response(
@@ -124,17 +148,24 @@ async def write_response(
     body: bytes,
     content_type: str = "application/json",
     extra_headers: Optional[Dict[str, str]] = None,
+    close: bool = True,
 ) -> None:
-    """Write one complete response and flush (connection closes afterwards)."""
+    """Write one complete response and flush.
+
+    ``close`` selects the ``Connection`` header; with ``close=False`` the
+    caller is expected to keep reading requests from the same connection.
+    An explicit ``Content-Type`` in ``extra_headers`` overrides the default
+    (used by the plain-text ``/metrics`` endpoint).
+    """
     reason = _REASONS.get(status, "Unknown")
-    lines = [
-        f"HTTP/1.1 {status} {reason}",
-        f"Content-Type: {content_type}",
-        f"Content-Length: {len(body)}",
-        "Connection: close",
-    ]
-    for name, value in (extra_headers or {}).items():
-        lines.append(f"{name}: {value}")
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close" if close else "keep-alive",
+    }
+    headers.update(extra_headers or {})
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
     writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
     await writer.drain()
 

@@ -1,0 +1,140 @@
+"""Prometheus text exposition of the serving counters.
+
+``GET /metrics`` on the decomposition server and on the cluster coordinator
+renders the same numbers ``GET /stats`` reports as JSON, in the Prometheus
+text format (version 0.0.4) so a stock Prometheus/VictoriaMetrics scraper
+can watch a farm without a custom exporter.  Only counters and gauges are
+exposed — no histograms, which keeps the endpoint allocation-free and the
+module stdlib-only.
+
+:func:`render_metrics` is the shared formatter; :func:`server_metrics_text`
+maps a :meth:`DecompositionServer._stats` snapshot onto metric families (the
+coordinator has its own mapping in :mod:`repro.cluster.coordinator`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+#: Content type of the text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+Number = Union[int, float]
+#: One sample: (label dict, value).
+Sample = Tuple[Mapping[str, str], Number]
+#: One family: (name, type, help, samples).
+MetricFamily = Tuple[str, str, str, Sequence[Sample]]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_metrics(families: Iterable[MetricFamily]) -> str:
+    """Render metric families to the Prometheus text format."""
+    lines: List[str] = []
+    for name, mtype, help_text, samples in families:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        for labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def counter_family(
+    name: str, help_text: str, samples: Sequence[Sample]
+) -> MetricFamily:
+    return (name, "counter", help_text, samples)
+
+
+def gauge_family(name: str, help_text: str, samples: Sequence[Sample]) -> MetricFamily:
+    return (name, "gauge", help_text, samples)
+
+
+def server_metrics_text(stats: Dict) -> str:
+    """Render a ``DecompositionServer._stats`` snapshot as Prometheus text."""
+    server: Dict = stats.get("server", {})
+    pool: Dict = stats.get("pool", {})
+    cache: Dict = stats.get("cache", {})
+    families: List[MetricFamily] = [
+        counter_family(
+            "repro_server_requests_total",
+            "HTTP requests by terminal result.",
+            [
+                ({"result": result}, server.get(result, 0))
+                for result in ("received", "served", "rejected", "failed", "timeouts", "invalid")
+            ],
+        ),
+        counter_family(
+            "repro_server_components_total",
+            "Component requests served via POST /component.",
+            [({}, server.get("components", 0))],
+        ),
+        counter_family(
+            "repro_server_component_cache_hits_total",
+            "Component requests answered from the component cache "
+            "(cache-affinity hits when routed by a cluster coordinator).",
+            [({}, server.get("component_cache_hits", 0))],
+        ),
+        gauge_family(
+            "repro_server_inflight_jobs",
+            "Jobs admitted and not yet finished (queue depth).",
+            [({}, server.get("inflight", 0))],
+        ),
+        gauge_family(
+            "repro_server_queue_limit",
+            "Admission-control bound on queued + in-flight jobs.",
+            [({}, server.get("queue_limit", 0))],
+        ),
+        gauge_family(
+            "repro_server_uptime_seconds",
+            "Seconds since the server started.",
+            [({}, server.get("uptime_seconds", 0.0))],
+        ),
+        counter_family(
+            "repro_pool_jobs_total",
+            "Worker-pool jobs by state.",
+            [
+                ({"state": state}, pool.get(state, 0))
+                for state in ("submitted", "completed", "failed")
+            ],
+        ),
+        gauge_family(
+            "repro_pool_workers",
+            "Size of the worker pool.",
+            [({"mode": str(pool.get("mode", "unknown"))}, pool.get("workers", 0))],
+        ),
+    ]
+    if cache.get("backend") == "sqlite":
+        families.append(
+            counter_family(
+                "repro_cache_operations_total",
+                "Persistent component-cache operations (cumulative across restarts).",
+                [
+                    ({"operation": op}, cache.get(op, 0))
+                    for op in ("hits", "misses", "stores", "evictions")
+                ],
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_cache_entries",
+                "Components currently stored in the persistent cache.",
+                [({}, cache.get("entries", 0))],
+            )
+        )
+    return render_metrics(families)

@@ -45,8 +45,19 @@ def _worker_init(cache_db: Optional[str], cache_max_entries: Optional[int]) -> N
 
 
 def _worker_run(job: Dict) -> Dict:
-    """Execute one job dict inside a worker (process or thread)."""
+    """Execute one job dict inside a worker (process or thread).
+
+    ``kind`` selects the work unit: whole-layout decomposition (the default,
+    what ``POST /decompose``/``/batch`` enqueue) or a single divided
+    component (``POST /component``, the cluster's unit of work — solved
+    against this worker's component cache so routed-by-hash repeats are
+    affinity hits).
+    """
     cache = getattr(_worker_state, "cache", None)
+    if job.get("kind") == "component":
+        from repro.runtime.component_io import solve_component_job
+
+        return solve_component_job(job, cache)
     return protocol.run_job(job, lambda options: Decomposer(options, cache=cache))
 
 

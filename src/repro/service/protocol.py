@@ -66,22 +66,18 @@ def build_options(
     algorithm: str = "sdp-backtrack",
     min_spacing: Optional[int] = None,
 ) -> DecomposerOptions:
-    """Map wire-level solve parameters onto :class:`DecomposerOptions`."""
-    if not isinstance(colors, int) or isinstance(colors, bool):
-        raise ProtocolError(f"'colors' must be an integer, got {colors!r}")
-    if algorithm not in DecomposerOptions.KNOWN_ALGORITHMS:
-        raise ProtocolError(
-            f"unknown algorithm {algorithm!r}; "
-            f"known: {sorted(DecomposerOptions.KNOWN_ALGORITHMS)}"
-        )
+    """Map wire-level solve parameters onto :class:`DecomposerOptions`.
+
+    Delegates the colors/algorithm preset expansion to
+    :func:`repro.runtime.component_io.options_for` — the one mapping shared
+    with the cluster's component requests, so a layout solved here and a
+    component routed there can never disagree on options (or cache keys).
+    """
+    from repro.runtime.component_io import ComponentWireError, options_for
+
     try:
-        if colors == 4:
-            options = DecomposerOptions.for_quadruple_patterning(algorithm)
-        elif colors == 5:
-            options = DecomposerOptions.for_pentuple_patterning(algorithm)
-        else:
-            options = DecomposerOptions.for_k_patterning(colors, algorithm)
-    except ReproError as exc:
+        options = options_for(colors, algorithm)
+    except ComponentWireError as exc:
         # e.g. ConfigurationError for colors < 2 — a client mistake, not a
         # server fault: surface it as a 400, never a 500.
         raise ProtocolError(str(exc)) from exc

@@ -1,8 +1,8 @@
 """The asyncio decomposition server.
 
-:class:`DecompositionServer` is the long-running front end of the farm: an
-``asyncio`` accept loop speaking minimal HTTP/1.1 (:mod:`repro.service.http`)
-in front of the persistent :class:`~repro.service.pool.WorkerPool`.
+:class:`DecompositionServer` is the long-running front end of the farm: the
+:class:`~repro.service.base.BaseHttpServer` chassis (keep-alive HTTP/1.1
+accept loop) in front of the persistent :class:`~repro.service.pool.WorkerPool`.
 
 Endpoints
 ---------
@@ -12,11 +12,20 @@ Endpoints
     :mod:`repro.service.protocol` for the exact schema.
 ``POST /batch``
     Many layouts in one request; items share the pool and the cache.
+``POST /component``
+    One decomposition-graph *component* in, canonical coloring out (see
+    :mod:`repro.runtime.component_io`).  This is the work unit of the
+    cluster: a coordinator routes each component to its cache-owning node,
+    so a node answers from its component cache whenever any coordinator has
+    routed the same canonical component here before.
 ``GET /healthz``
     Liveness: status, pool mode, in-flight count, uptime.
 ``GET /stats``
-    Request counters, pool counters, and component-cache effectiveness
-    (cumulative *and* since-startup when the SQLite cache is attached).
+    Request counters, pool counters, component-affinity counters, and
+    component-cache effectiveness (cumulative *and* since-startup when the
+    SQLite cache is attached).
+``GET /metrics``
+    The same counters in Prometheus text exposition format.
 
 Operational behaviour
 ---------------------
@@ -39,23 +48,19 @@ server adds scheduling, not semantics.
 from __future__ import annotations
 
 import asyncio
-import signal
-import threading
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.runtime.component_io import ComponentWireError, validate_component_request
+from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.http import (
     DEFAULT_MAX_BODY_BYTES,
-    HttpError,
     HttpRequest,
-    MAX_HEADER_BYTES,
     error_body,
     json_body,
-    read_request,
-    write_response,
 )
+from repro.service.metrics import METRICS_CONTENT_TYPE, server_metrics_text
 from repro.service.pool import PoolConfig, WorkerPool
 from repro.service.protocol import (
     ProtocolError,
@@ -90,7 +95,7 @@ class ServerConfig:
     force_inline_pool: bool = False
 
 
-class DecompositionServer:
+class DecompositionServer(BaseHttpServer):
     """Asyncio JSON-over-HTTP decomposition service.
 
     Parameters
@@ -110,6 +115,15 @@ class DecompositionServer:
         pre_dispatch_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         self.config = config or ServerConfig()
+        super().__init__(
+            host=self.config.host,
+            port=self.config.port,
+            max_body_bytes=self.config.max_body_bytes,
+            header_timeout=self.config.header_timeout,
+            queue_limit=self.config.queue_limit,
+            request_timeout=self.config.request_timeout,
+            retry_after_seconds=self.config.retry_after_seconds,
+        )
         self._pre_dispatch_hook = pre_dispatch_hook
         self.pool = WorkerPool(
             PoolConfig(
@@ -119,138 +133,54 @@ class DecompositionServer:
                 force_inline=self.config.force_inline_pool,
             )
         )
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._connections: set = set()
-        self._inflight = 0
-        self._draining = False
-        self._stopped: Optional[asyncio.Event] = None
-        self._started_at = 0.0
-        self._counters = {
-            "received": 0,
-            "served": 0,
-            "rejected": 0,
-            "failed": 0,
-            "timeouts": 0,
-            "invalid": 0,
-        }
+        self._counters.update({"components": 0, "component_cache_hits": 0})
         self._cache_stats_start: Dict[str, int] = {}
 
     # ------------------------------------------------------------ lifecycle
-    async def start(self) -> Tuple[str, int]:
-        """Start the pool and the accept loop; return the bound (host, port)."""
-        loop = asyncio.get_running_loop()
-        self._stopped = asyncio.Event()
+    async def _on_start(self, loop: asyncio.AbstractEventLoop) -> None:
         # Pool startup forks workers and may probe-fallback: keep the event
         # loop responsive while it happens.
         await loop.run_in_executor(None, self.pool.start)
-        try:
-            if self.config.cache_db is not None:
+        if self.config.cache_db is not None:
+            try:
                 self._cache_stats_start = await loop.run_in_executor(
                     None, self._read_cache_totals
                 )
-            self._server = await asyncio.start_server(
-                self._handle_connection,
-                host=self.config.host,
-                port=self.config.port,
-                limit=MAX_HEADER_BYTES,
-            )
-        except Exception:
-            # e.g. EADDRINUSE: don't leak the freshly-forked worker pool.
-            await loop.run_in_executor(None, lambda: self.pool.shutdown(wait=False))
-            raise
-        self._started_at = time.monotonic()
-        sock = self._server.sockets[0]
-        host, port = sock.getsockname()[:2]
-        return host, port
+            except Exception:
+                await loop.run_in_executor(None, lambda: self.pool.shutdown(wait=False))
+                raise
 
-    def install_signal_handlers(self) -> None:
-        """Route SIGTERM/SIGINT to a graceful drain."""
-        loop = asyncio.get_running_loop()
-        for signum in (signal.SIGTERM, signal.SIGINT):
-            loop.add_signal_handler(
-                signum, lambda: asyncio.ensure_future(self.shutdown())
-            )
+    async def _on_bind_failed(self, loop: asyncio.AbstractEventLoop) -> None:
+        # e.g. EADDRINUSE: don't leak the freshly-forked worker pool.
+        await loop.run_in_executor(None, lambda: self.pool.shutdown(wait=False))
 
-    async def shutdown(self) -> None:
-        """Drain: stop accepting, finish in-flight work, stop the pool."""
-        if self._draining:
-            return
-        self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        # wait_closed() does not wait for handler coroutines (3.11): drain
-        # the connections we track ourselves, then the pool.
-        if self._connections:
-            await asyncio.gather(*list(self._connections), return_exceptions=True)
-        loop = asyncio.get_running_loop()
+    async def _on_shutdown(self, loop: asyncio.AbstractEventLoop) -> None:
         await loop.run_in_executor(None, lambda: self.pool.shutdown(wait=True))
-        if self._stopped is not None:
-            self._stopped.set()
-
-    async def wait_stopped(self) -> None:
-        """Block until a drain (signal- or call-initiated) completes."""
-        assert self._stopped is not None, "server was never started"
-        await self._stopped.wait()
 
     # ------------------------------------------------------------- requests
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        self._connections.add(task)
-        try:
-            try:
-                try:
-                    request = await asyncio.wait_for(
-                        read_request(reader, self.config.max_body_bytes),
-                        timeout=self.config.header_timeout,
-                    )
-                except asyncio.TimeoutError:
-                    # Idle or trickling peer: close it.  Also what bounds a
-                    # drain — shutdown() gathers connection tasks, and this
-                    # guarantees un-admitted ones finish within the timeout.
-                    return
-                if request is None:
-                    return
-                self._counters["received"] += 1
-                status, body, extra = await self._dispatch(request)
-            except HttpError as exc:
-                self._counters["invalid"] += 1
-                status, body = error_body(exc.status, exc.message)
-                extra = None
-            except Exception as exc:  # defensive: a handler bug must not kill the loop
-                self._counters["failed"] += 1
-                status, body = error_body(500, f"internal error: {exc}")
-                extra = None
-            await write_response(writer, status, body, extra_headers=extra)
-        except (ConnectionError, asyncio.CancelledError):
-            pass
-        finally:
-            self._connections.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
     async def _dispatch(
         self, request: HttpRequest
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         route = (request.method, request.path.split("?", 1)[0])
         if route == ("GET", "/healthz"):
             return 200, json_body(self._healthz()), None
-        if route == ("GET", "/stats"):
+        if route in (("GET", "/stats"), ("GET", "/metrics")):
             # The cache block reads the SQLite counters — synchronous I/O
             # that can wait on a writer's lock; keep it off the event loop.
             loop = asyncio.get_running_loop()
             stats = await loop.run_in_executor(None, self._stats)
-            return 200, json_body(stats), None
+            if route[1] == "/stats":
+                return 200, json_body(stats), None
+            text = server_metrics_text(stats)
+            return 200, text.encode("utf-8"), {"Content-Type": METRICS_CONTENT_TYPE}
         if route == ("POST", "/decompose"):
             return await self._serve_jobs(request, batch=False)
         if route == ("POST", "/batch"):
             return await self._serve_jobs(request, batch=True)
-        if route[1] in ("/healthz", "/stats", "/decompose", "/batch"):
+        if route == ("POST", "/component"):
+            return await self._serve_component(request)
+        known = ("/healthz", "/stats", "/metrics", "/decompose", "/batch", "/component")
+        if route[1] in known:
             return (*error_body(405, f"{request.method} not allowed on {route[1]}"), None)
         return (*error_body(404, f"no such endpoint {route[1]!r}"), None)
 
@@ -274,88 +204,9 @@ class DecompositionServer:
             self._counters["invalid"] += 1
             return (*error_body(400, str(exc)), None)
 
-        if len(jobs) > self.config.queue_limit:
-            # Would never fit, even on an idle server: a permanent-client
-            # error, not transient overload — 503 + Retry-After would send
-            # the client into an infinite retry loop.
-            self._counters["invalid"] += 1
-            status, body = error_body(
-                400,
-                f"batch of {len(jobs)} layouts exceeds the server's queue "
-                f"capacity of {self.config.queue_limit}; split the batch",
-            )
-            return status, body, None
-        if self._draining or self._inflight + len(jobs) > self.config.queue_limit:
-            self._counters["rejected"] += 1
-            reason = "server is draining" if self._draining else "queue is full"
-            status, body = error_body(
-                503, f"{reason}; retry later", retry_after=self.config.retry_after_seconds
-            )
-            return status, body, {"Retry-After": str(self.config.retry_after_seconds)}
-
-        # A slot is held from admission until its job leaves the pool — on
-        # the happy path that is when gather() resolves, but a 504'd request
-        # abandons jobs that keep running, so each submitted job releases
-        # its own slot from a done-callback instead of this coroutine.
-        self._inflight += len(jobs)
-
-        def _release_slot(_future=None) -> None:
-            try:
-                loop.call_soon_threadsafe(self._decrement_inflight)
-            except RuntimeError:  # loop already closed (late drain)
-                self._inflight -= 1
-
-        def _submit_all():
-            """Submit every job (off-loop: a broken-pool rebuild blocks).
-
-            Returns (submitted futures, first error); never raises, so the
-            caller always knows how many slots the callbacks now own.
-            """
-            submitted = []
-            for job in jobs:
-                try:
-                    future = self.pool.submit(job)
-                except Exception as exc:  # pool broken beyond repair
-                    return submitted, exc
-                future.add_done_callback(_release_slot)
-                submitted.append(future)
-            return submitted, None
-
-        unsubmitted = len(jobs)
-        try:
-            if self._pre_dispatch_hook is not None:
-                await loop.run_in_executor(None, self._pre_dispatch_hook)
-            futures, submit_error = await loop.run_in_executor(None, _submit_all)
-            unsubmitted = len(jobs) - len(futures)
-            if submit_error is not None:
-                raise submit_error
-            try:
-                results = await asyncio.wait_for(
-                    asyncio.gather(*[asyncio.wrap_future(f) for f in futures]),
-                    timeout=self.config.request_timeout,
-                )
-            except asyncio.TimeoutError:
-                self._counters["timeouts"] += 1
-                status, body = error_body(
-                    504,
-                    f"decomposition exceeded {self.config.request_timeout}s; "
-                    "the result will be cached for a retry",
-                )
-                return status, body, None
-        except ProtocolError as exc:
-            self._counters["invalid"] += 1
-            return (*error_body(400, str(exc)), None)
-        except ReproError as exc:
-            self._counters["failed"] += 1
-            return (*error_body(422, f"decomposition failed: {exc}"), None)
-        except Exception as exc:
-            self._counters["failed"] += 1
-            return (*error_body(500, f"worker failure: {exc}"), None)
-        finally:
-            # Only the never-submitted jobs' slots; the rest are released by
-            # their done-callbacks when the pool really finishes them.
-            self._inflight -= unsubmitted
-
+        results, error = await self._execute_jobs(jobs)
+        if error is not None:
+            return error
         self._counters["served"] += len(jobs)
 
         def _encode_response() -> bytes:
@@ -371,8 +222,68 @@ class DecompositionServer:
 
         return 200, await loop.run_in_executor(None, _encode_response), None
 
-    def _decrement_inflight(self) -> None:
-        self._inflight -= 1
+    async def _serve_component(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        loop = asyncio.get_running_loop()
+
+        def _decode_component() -> Dict:
+            payload = request.json()
+            validate_component_request(payload)
+            return {"kind": "component", **payload}
+
+        try:
+            job = await loop.run_in_executor(None, _decode_component)
+        except (ProtocolError, ComponentWireError) as exc:
+            self._counters["invalid"] += 1
+            return (*error_body(400, str(exc)), None)
+
+        results, error = await self._execute_jobs([job])
+        if error is not None:
+            return error
+        payload = results[0]
+        self._counters["components"] += 1
+        if payload.get("cache_hit"):
+            self._counters["component_cache_hits"] += 1
+        return 200, json_body(payload), None
+
+    # ----------------------------------------------------- job control hooks
+    async def _submit_jobs(self, loop, jobs: List[Dict], release_slot):
+        def _submit_all():
+            """Submit every job (off-loop: a broken-pool rebuild blocks).
+
+            Returns (submitted futures, first error); never raises, so the
+            caller always knows how many slots the callbacks now own.
+            """
+            submitted = []
+            for job in jobs:
+                try:
+                    future = self.pool.submit(job)
+                except Exception as exc:  # pool broken beyond repair
+                    return submitted, exc
+                future.add_done_callback(release_slot)
+                submitted.append(future)
+            return submitted, None
+
+        if self._pre_dispatch_hook is not None:
+            await loop.run_in_executor(None, self._pre_dispatch_hook)
+        return await loop.run_in_executor(None, _submit_all)
+
+    def _map_job_error(self, exc: BaseException):
+        if isinstance(exc, (ProtocolError, ComponentWireError)):
+            self._counters["invalid"] += 1
+            return (*error_body(400, str(exc)), None)
+        if isinstance(exc, ReproError):
+            self._counters["failed"] += 1
+            return (*error_body(422, f"decomposition failed: {exc}"), None)
+        self._counters["failed"] += 1
+        return (*error_body(500, f"worker failure: {exc}"), None)
+
+    def _timeout_message(self) -> str:
+        return (
+            f"decomposition exceeded {self.config.request_timeout}s; "
+            "the result will be cached for a retry"
+        )
 
     # ------------------------------------------------------------ telemetry
     def _healthz(self) -> Dict[str, object]:
@@ -381,7 +292,7 @@ class DecompositionServer:
             "mode": self.pool.mode,
             "workers": self.pool.workers,
             "inflight": self._inflight,
-            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "uptime_seconds": self.uptime_seconds(),
         }
 
     def _stats(self) -> Dict[str, object]:
@@ -390,7 +301,7 @@ class DecompositionServer:
                 **self._counters,
                 "inflight": self._inflight,
                 "queue_limit": self.config.queue_limit,
-                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "uptime_seconds": self.uptime_seconds(),
             },
             "pool": self.pool.stats(),
         }
@@ -447,7 +358,7 @@ def run_server(config: ServerConfig) -> int:
     return 0
 
 
-class ServerThread:
+class ServerThread(ThreadedServer):
     """A :class:`DecompositionServer` on a background thread (tests, examples).
 
     ::
@@ -464,49 +375,4 @@ class ServerThread:
         config: Optional[ServerConfig] = None,
         pre_dispatch_hook: Optional[Callable[[], None]] = None,
     ) -> None:
-        self.server = DecompositionServer(config, pre_dispatch_hook=pre_dispatch_hook)
-        self.address: Optional[Tuple[str, int]] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._thread: Optional[threading.Thread] = None
-        self._ready = threading.Event()
-        self._startup_error: Optional[BaseException] = None
-
-    def start(self, timeout: float = 30.0) -> Tuple[str, int]:
-        self._thread = threading.Thread(
-            target=self._run, name="repro-serve", daemon=True
-        )
-        self._thread.start()
-        if not self._ready.wait(timeout):
-            raise RuntimeError("server thread did not start in time")
-        if self._startup_error is not None:
-            raise RuntimeError("server failed to start") from self._startup_error
-        assert self.address is not None
-        return self.address
-
-    def _run(self) -> None:
-        async def _main() -> None:
-            try:
-                self.address = await self.server.start()
-                self._loop = asyncio.get_running_loop()
-            except BaseException as exc:
-                self._startup_error = exc
-                self._ready.set()
-                return
-            self._ready.set()
-            await self.server.wait_stopped()
-
-        asyncio.run(_main())
-
-    def stop(self, timeout: float = 60.0) -> None:
-        """Drain and join; idempotent."""
-        if self._thread is None or not self._thread.is_alive():
-            return
-        assert self._loop is not None
-        asyncio.run_coroutine_threadsafe(self.server.shutdown(), self._loop)
-        self._thread.join(timeout)
-
-    def __enter__(self) -> Tuple[str, int]:
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
+        super().__init__(DecompositionServer(config, pre_dispatch_hook=pre_dispatch_hook))

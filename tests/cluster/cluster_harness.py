@@ -1,0 +1,86 @@
+"""In-process mini-cluster harness shared by the cluster tests."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
+from repro.service import ServerConfig, ServerThread, ServiceClient
+
+
+class MiniCluster:
+    """N node servers + one coordinator, all in-process on ephemeral ports.
+
+    Nodes run inline (thread) pools with one worker so component-cache
+    behaviour is deterministic; heartbeat probing defaults to effectively
+    off (``probe_interval=60``) so liveness transitions in tests happen
+    only through the code path under test (``mark_dead`` on observed
+    failures), never through a racing probe tick.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        probe_interval: float = 60.0,
+        node_config: Optional[dict] = None,
+        coordinator_config: Optional[dict] = None,
+    ) -> None:
+        self.nodes: List[ServerThread] = []
+        self.node_ids: List[str] = []
+        for _ in range(num_nodes):
+            config = ServerConfig(
+                port=0, workers=1, force_inline_pool=True, **(node_config or {})
+            )
+            self.nodes.append(ServerThread(config))
+        self._coordinator_kwargs = dict(
+            port=0, probe_interval=probe_interval, **(coordinator_config or {})
+        )
+        self.coordinator: Optional[CoordinatorThread] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> "MiniCluster":
+        for node in self.nodes:
+            host, port = node.start()
+            self.node_ids.append(f"{host}:{port}")
+        self.coordinator = CoordinatorThread(
+            CoordinatorConfig(peers=list(self.node_ids), **self._coordinator_kwargs)
+        )
+        self.address = self.coordinator.start()
+        return self
+
+    def stop(self) -> None:
+        if self.coordinator is not None:
+            self.coordinator.stop()
+        for node in self.nodes:
+            node.stop()
+
+    def client(self, **kwargs) -> ClusterClient:
+        assert self.address is not None
+        client = ClusterClient(*self.address, **kwargs)
+        client.wait_until_healthy()
+        return client
+
+    def node_client(self, index: int) -> ServiceClient:
+        assert self.nodes[index].address is not None
+        return ServiceClient(*self.nodes[index].address)
+
+    def kill_node(self, index: int) -> str:
+        """Drain and stop one node; return its node id."""
+        self.nodes[index].stop()
+        return self.node_ids[index]
+
+    def __enter__(self) -> "MiniCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@contextmanager
+def mini_cluster(num_nodes: int = 3, **kwargs):
+    cluster = MiniCluster(num_nodes=num_nodes, **kwargs)
+    try:
+        yield cluster.start()
+    finally:
+        cluster.stop()

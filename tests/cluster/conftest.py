@@ -1,0 +1,13 @@
+"""Fixtures for the cluster test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from cluster_harness import mini_cluster
+
+
+@pytest.fixture
+def three_node_cluster():
+    with mini_cluster(num_nodes=3) as cluster:
+        yield cluster

@@ -1,0 +1,162 @@
+"""Cache-affinity routing and the /metrics endpoints.
+
+The affinity acceptance criterion: a component with canonical hash H solved
+via one coordinator is a cache hit when a *different* coordinator later
+routes H — placement is a pure function of the node set, so both route to
+H's owner node — verified through the Prometheus counters on the node.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.bench.factory import repeated_cell_layout
+from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
+from repro.core.decomposer import Decomposer
+from repro.service.protocol import build_options, canonical_json, result_to_payload
+
+from cluster_harness import mini_cluster
+
+pytestmark = pytest.mark.cluster
+
+
+def metric_value(text: str, name: str, labels: str = "") -> float:
+    """Extract one sample value from Prometheus text exposition."""
+    pattern = rf"^{re.escape(name + labels)} (\S+)$"
+    match = re.search(pattern, text, flags=re.MULTILINE)
+    assert match is not None, f"metric {name}{labels} not found in:\n{text}"
+    return float(match.group(1))
+
+
+class TestCacheAffinity:
+    def test_second_coordinator_hits_first_coordinators_cache(self):
+        layout = repeated_cell_layout(copies=4)
+        layer = layout.layers()[0]
+        direct = Decomposer(build_options(4, "linear")).decompose(layout, layer=layer)
+        expected = canonical_json(result_to_payload("cells", layer, direct))
+
+        with mini_cluster(num_nodes=3) as cluster:
+            first = cluster.client()
+            assert canonical_json(
+                first.decompose(layout, name="cells", algorithm="linear")
+            ) == expected
+            assert first.stats()["coordinator"]["component_cache_hits"] == 0
+
+            # A brand-new coordinator over the same peers: identical ring,
+            # identical placement — the owner node answers from its cache.
+            second_thread = CoordinatorThread(
+                CoordinatorConfig(
+                    port=0, peers=list(cluster.node_ids), probe_interval=60.0
+                )
+            )
+            try:
+                second = ClusterClient(*second_thread.start())
+                second.wait_until_healthy()
+                assert canonical_json(
+                    second.decompose(layout, name="cells", algorithm="linear")
+                ) == expected
+                stats = second.stats()
+                assert stats["coordinator"]["components_routed"] > 0
+                assert (
+                    stats["coordinator"]["component_cache_hits"]
+                    == stats["coordinator"]["components_routed"]
+                )
+            finally:
+                second_thread.stop()
+
+            # The owner node's own Prometheus counters show the affinity hit.
+            hits = 0
+            for index in range(len(cluster.nodes)):
+                node_metrics = cluster.node_client(index).metrics_text()
+                hits += metric_value(
+                    node_metrics, "repro_server_component_cache_hits_total"
+                )
+            assert hits > 0
+
+    def test_both_coordinators_route_identically(self):
+        """Placement is deterministic: same peers => same per-node routing."""
+        layout = repeated_cell_layout(copies=3)
+        with mini_cluster(num_nodes=3) as cluster:
+            first = cluster.client()
+            first.decompose(layout, name="cells", algorithm="linear")
+            routed_first = {
+                node: state["routed"]
+                for node, state in first.stats()["nodes"].items()
+            }
+            second_thread = CoordinatorThread(
+                CoordinatorConfig(
+                    port=0, peers=list(cluster.node_ids), probe_interval=60.0
+                )
+            )
+            try:
+                second = ClusterClient(*second_thread.start())
+                second.wait_until_healthy()
+                second.decompose(layout, name="cells", algorithm="linear")
+                routed_second = {
+                    node: state["routed"]
+                    for node, state in second.stats()["nodes"].items()
+                }
+            finally:
+                second_thread.stop()
+            assert routed_first == routed_second
+
+
+class TestMetricsEndpoints:
+    def test_node_metrics_format_and_counters(self, three_node_cluster):
+        client = three_node_cluster.client()
+        client.decompose(repeated_cell_layout(copies=2), name="c", algorithm="linear")
+        for index in range(3):
+            text = three_node_cluster.node_client(index).metrics_text()
+            assert "# HELP repro_server_requests_total" in text
+            assert "# TYPE repro_server_requests_total counter" in text
+            # Sum of routed components across nodes shows up in their totals.
+        totals = sum(
+            metric_value(
+                three_node_cluster.node_client(i).metrics_text(),
+                "repro_server_components_total",
+            )
+            for i in range(3)
+        )
+        assert totals == client.stats()["coordinator"]["components_routed"]
+
+    def test_coordinator_metrics_expose_routing_and_liveness(self, three_node_cluster):
+        client = three_node_cluster.client()
+        client.decompose(repeated_cell_layout(copies=2), name="c", algorithm="linear")
+        text = client.metrics_text()
+        assert metric_value(text, "repro_coordinator_nodes", '{state="alive"}') == 3
+        assert metric_value(text, "repro_coordinator_nodes", '{state="dead"}') == 0
+        routed = sum(
+            metric_value(
+                text,
+                "repro_coordinator_components_routed_total",
+                f'{{node="{node}"}}',
+            )
+            for node in three_node_cluster.node_ids
+        )
+        assert routed == client.stats()["coordinator"]["components_routed"]
+        assert (
+            metric_value(text, "repro_coordinator_requests_total", '{result="served"}')
+            == 1
+        )
+
+    def test_sqlite_cache_metrics_on_node(self, tmp_path):
+        from repro.service import ServerConfig, ServerThread, ServiceClient
+
+        db = str(tmp_path / "cells.db")
+        config = ServerConfig(port=0, workers=1, force_inline_pool=True, cache_db=db)
+        with ServerThread(config) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            client.decompose(
+                repeated_cell_layout(copies=3), name="cells", algorithm="linear"
+            )
+            text = client.metrics_text()
+            assert metric_value(text, "repro_cache_entries") > 0
+            assert (
+                metric_value(
+                    text, "repro_cache_operations_total", '{operation="stores"}'
+                )
+                > 0
+            )

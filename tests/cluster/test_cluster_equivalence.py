@@ -1,0 +1,175 @@
+"""Cluster correctness: byte-identical to a direct Decomposer, even mid-failure.
+
+The acceptance bar of the cluster PR: a 3-node in-process cluster must
+produce responses byte-identical to a direct :class:`Decomposer` run — cold,
+warm, through ``/batch``, and with a node killed between and during batches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.circuits import TABLE1_CIRCUITS, load_circuit
+from repro.bench.factory import repeated_cell_layout, wire_row_layout
+from repro.core.decomposer import Decomposer
+from repro.service.protocol import build_options, canonical_json, result_to_payload
+
+from cluster_harness import mini_cluster
+
+pytestmark = pytest.mark.cluster
+
+
+def _direct_payload(layout, name, algorithm="linear", colors=4):
+    layer = layout.layers()[0]
+    result = Decomposer(build_options(colors, algorithm)).decompose(layout, layer=layer)
+    return result_to_payload(name, layer, result)
+
+
+class TestByteIdentical:
+    def test_three_node_cluster_matches_direct(self, three_node_cluster):
+        client = three_node_cluster.client()
+        for name, layout in (
+            ("cells", repeated_cell_layout(copies=4)),
+            ("wires", wire_row_layout(num_wires=4, wire_length=600)),
+        ):
+            served = client.decompose(layout, name=name, algorithm="linear")
+            assert canonical_json(served) == canonical_json(
+                _direct_payload(layout, name)
+            )
+        stats = client.stats()
+        assert stats["coordinator"]["served"] == 2
+        assert stats["coordinator"]["components_routed"] > 0
+
+    def test_warm_repeat_is_identical_and_hits_cache(self, three_node_cluster):
+        client = three_node_cluster.client()
+        layout = repeated_cell_layout(copies=4)
+        expected = canonical_json(_direct_payload(layout, "cells"))
+        cold = client.decompose(layout, name="cells", algorithm="linear")
+        warm = client.decompose(layout, name="cells", algorithm="linear")
+        assert canonical_json(cold) == expected
+        assert canonical_json(warm) == expected
+        assert client.stats()["coordinator"]["component_cache_hits"] > 0
+
+    def test_batch_matches_per_layout_direct(self, three_node_cluster):
+        client = three_node_cluster.client()
+        layouts = [
+            ("cells", repeated_cell_layout(copies=3)),
+            ("wires", wire_row_layout(num_wires=3, wire_length=400)),
+        ]
+        response = client.decompose_batch(layouts, algorithm="linear")
+        assert response["aggregate"]["layouts"] == 2
+        for item, (name, layout) in zip(response["items"], layouts):
+            assert canonical_json(item) == canonical_json(_direct_payload(layout, name))
+
+
+class TestNodeDeath:
+    def test_kill_loaded_node_between_requests(self):
+        """Kill the node that owned the components: the survivors re-solve
+        them and the response stays byte-identical."""
+        with mini_cluster(num_nodes=3) as cluster:
+            client = cluster.client()
+            layout = repeated_cell_layout(copies=4)
+            expected = canonical_json(_direct_payload(layout, "cells"))
+            assert canonical_json(
+                client.decompose(layout, name="cells", algorithm="linear")
+            ) == expected
+
+            stats = client.stats()
+            loaded = [n for n, s in stats["nodes"].items() if s["routed"] > 0]
+            victim = cluster.kill_node(cluster.node_ids.index(loaded[0]))
+
+            served = client.decompose(layout, name="cells", algorithm="linear")
+            assert canonical_json(served) == expected
+            stats = client.stats()
+            assert stats["coordinator"]["reroutes"] > 0
+            assert stats["nodes"][victim]["alive"] is False
+            assert stats["membership"]["alive"] == 2
+
+    def test_kill_node_mid_batch(self):
+        """A batch started on 3 nodes finishes correctly on 2: the node dies
+        while the batch is in flight (between its layouts)."""
+        with mini_cluster(num_nodes=3) as cluster:
+            client = cluster.client()
+            layouts = {
+                "a": repeated_cell_layout(copies=2),
+                "b": wire_row_layout(num_wires=3, wire_length=400),
+                "c": wire_row_layout(num_wires=5, wire_length=800),
+            }
+            expected = {
+                name: canonical_json(_direct_payload(layout, name))
+                for name, layout in layouts.items()
+            }
+            # Warm the routing so we know which node carries load, then kill
+            # it and push the whole batch through the degraded cluster.
+            client.decompose(layouts["a"], name="a", algorithm="linear")
+            stats = client.stats()
+            loaded = [n for n, s in stats["nodes"].items() if s["routed"] > 0]
+            cluster.kill_node(cluster.node_ids.index(loaded[0]))
+
+            response = client.decompose_batch(
+                list(layouts.items()), algorithm="linear"
+            )
+            for item in response["items"]:
+                assert canonical_json(item) == expected[item["name"]], (
+                    f"{item['name']} diverged after mid-batch node death"
+                )
+            assert client.stats()["membership"]["alive"] == 2
+
+    def test_dead_node_rejoins_on_probe(self):
+        """Failback: a probe revives a node marked dead and the ring regrows."""
+        with mini_cluster(num_nodes=2) as cluster:
+            client = cluster.client()
+            layout = wire_row_layout(num_wires=3, wire_length=400)
+            client.decompose(layout, name="w", algorithm="linear")
+            coordinator = cluster.coordinator.server
+            victim = cluster.node_ids[0]
+            assert coordinator.membership.mark_dead(victim, "test") is True
+            assert client.stats()["membership"]["alive"] == 1
+            # The node never actually died — the next heartbeat revives it.
+            coordinator.membership.probe_once()
+            stats = client.stats()
+            assert stats["membership"]["alive"] == 2
+            assert stats["nodes"][victim]["alive"] is True
+
+
+@pytest.mark.slow
+class TestBenchCircuitSweep:
+    """Acceptance sweep: every Table 1 circuit through a 3-node cluster,
+    byte-identical to direct — including after a mid-sweep node kill."""
+
+    SCALE = 0.2
+    ALGORITHM = "linear"
+
+    def test_all_circuits_with_mid_sweep_node_kill(self):
+        circuits = {
+            name: load_circuit(name, scale=self.SCALE) for name in TABLE1_CIRCUITS
+        }
+        expected = {
+            name: canonical_json(
+                _direct_payload(layout, name, algorithm=self.ALGORITHM)
+            )
+            for name, layout in circuits.items()
+        }
+        with mini_cluster(
+            num_nodes=3, coordinator_config={"queue_limit": 64}
+        ) as cluster:
+            client = cluster.client()
+            names = list(circuits)
+            half = len(names) // 2
+            for name in names[:half]:
+                served = client.decompose(
+                    circuits[name], name=name, algorithm=self.ALGORITHM
+                )
+                assert canonical_json(served) == expected[name]
+            # Kill whichever node carried the most components so far.
+            stats = client.stats()
+            victim = max(stats["nodes"].items(), key=lambda kv: kv[1]["routed"])[0]
+            cluster.kill_node(cluster.node_ids.index(victim))
+            for name in names[half:]:
+                served = client.decompose(
+                    circuits[name], name=name, algorithm=self.ALGORITHM
+                )
+                assert canonical_json(served) == expected[name], (
+                    f"{name} diverged after mid-sweep node kill"
+                )
+            assert client.stats()["membership"]["alive"] == 2

@@ -1,0 +1,81 @@
+"""The warm-cache prefill tool: offline decomposition into a mountable DB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.factory import repeated_cell_layout
+from repro.cli import main
+from repro.io.jsonio import write_json
+from repro.runtime import open_cache
+from repro.service import ServerConfig, ServerThread, ServiceClient
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture
+def library_file(tmp_path):
+    path = tmp_path / "cells.json"
+    write_json(repeated_cell_layout(copies=4), str(path))
+    return path
+
+
+class TestPrefillCli:
+    def test_prefill_stores_components(self, tmp_path, library_file, capsys):
+        db = str(tmp_path / "cells.db")
+        assert main(
+            ["prefill", "--cache-db", db, "--algorithm", "linear", str(library_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "prefilled" in out
+        cache = open_cache(db_path=db)
+        try:
+            assert len(cache) > 0
+        finally:
+            cache.close()
+
+    def test_second_prefill_replays_instead_of_solving(
+        self, tmp_path, library_file, capsys
+    ):
+        db = str(tmp_path / "cells.db")
+        main(["prefill", "--cache-db", db, "--algorithm", "linear", str(library_file)])
+        capsys.readouterr()
+        main(["prefill", "--cache-db", db, "--algorithm", "linear", str(library_file)])
+        out = capsys.readouterr().out
+        assert "0 solved this run" in out
+
+    def test_bad_cache_db_path_is_a_cli_error(self, tmp_path, library_file, capsys):
+        # A path whose parent is a *file* cannot be created by the backend's
+        # parent-mkdir, so this is a genuinely unopenable cache location.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        exit_code = main(
+            [
+                "prefill",
+                "--cache-db",
+                str(blocker / "cells.db"),
+                str(library_file),
+            ]
+        )
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestNodeMountsPrefilledCache:
+    def test_prefilled_node_starts_warm(self, tmp_path, library_file):
+        """A node mounting a prefilled --cache-db serves its first request
+        entirely from cache: session hits > 0, zero misses."""
+        db = str(tmp_path / "cells.db")
+        assert main(
+            ["prefill", "--cache-db", db, "--algorithm", "linear", str(library_file)]
+        ) == 0
+        config = ServerConfig(port=0, workers=1, cache_db=db, force_inline_pool=True)
+        with ServerThread(config) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            layout = repeated_cell_layout(copies=4)
+            client.decompose(layout, name="cells", algorithm="linear")
+            session = client.stats()["cache"]["session"]
+            assert session["hits"] > 0
+            assert session["misses"] == 0
+            assert session["stores"] == 0

@@ -1,0 +1,102 @@
+"""Consistent-hash ring: deterministic placement, balance, minimal movement."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cluster import HashRing
+
+pytestmark = pytest.mark.cluster
+
+NODES = ["10.0.0.1:8001", "10.0.0.2:8001", "10.0.0.3:8001"]
+
+
+def sample_keys(count: int):
+    """Deterministic stand-ins for canonical component hashes."""
+    return [hashlib.sha256(f"component-{i}".encode()).hexdigest() for i in range(count)]
+
+
+class TestDeterminism:
+    def test_same_nodes_same_placement(self):
+        keys = sample_keys(200)
+        ring_a = HashRing(NODES)
+        ring_b = HashRing(NODES)
+        assert [ring_a.owner(k) for k in keys] == [ring_b.owner(k) for k in keys]
+
+    def test_node_order_is_irrelevant(self):
+        keys = sample_keys(200)
+        forward = HashRing(NODES)
+        backward = HashRing(list(reversed(NODES)))
+        assert [forward.owner(k) for k in keys] == [backward.owner(k) for k in keys]
+
+    def test_duplicate_nodes_collapse(self):
+        assert HashRing(NODES + NODES).nodes == HashRing(NODES).nodes
+
+    def test_preference_starts_at_owner_and_covers_all_nodes(self):
+        ring = HashRing(NODES)
+        for key in sample_keys(50):
+            preference = ring.preference(key)
+            assert preference[0] == ring.owner(key)
+            assert sorted(preference) == sorted(NODES)
+            assert len(set(preference)) == len(NODES)
+
+    def test_preference_count_bounds_the_list(self):
+        ring = HashRing(NODES)
+        assert len(ring.preference(sample_keys(1)[0], count=2)) == 2
+
+
+class TestBalance:
+    def test_every_node_owns_a_share(self):
+        keys = sample_keys(3000)
+        share = HashRing(NODES).share(keys)
+        # With 64 vnodes the split is near-uniform; assert no node is
+        # starved or dominant (expected share 1/3 each).
+        for node, owned in share.items():
+            assert owned > len(keys) * 0.15, f"{node} starved: {share}"
+            assert owned < len(keys) * 0.55, f"{node} dominant: {share}"
+
+
+class TestConsistency:
+    def test_removing_a_node_moves_only_its_keys(self):
+        """The defining consistent-hashing property — and what makes a node
+        death invalidate only that node's share of the cluster cache."""
+        keys = sample_keys(2000)
+        full = HashRing(NODES)
+        for removed in NODES:
+            shrunk = full.without(removed)
+            assert removed not in shrunk.nodes
+            for key in keys:
+                owner = full.owner(key)
+                if owner != removed:
+                    assert shrunk.owner(key) == owner
+                else:
+                    assert shrunk.owner(key) in shrunk.nodes
+
+    def test_without_equals_fresh_ring_over_survivors(self):
+        """Rebalance determinism: the ring after a death is exactly the ring
+        a brand-new coordinator would build over the survivors."""
+        keys = sample_keys(500)
+        survivors = [NODES[0], NODES[2]]
+        shrunk = HashRing(NODES).without(NODES[1])
+        fresh = HashRing(survivors)
+        assert shrunk.nodes == fresh.nodes
+        assert [shrunk.owner(k) for k in keys] == [fresh.owner(k) for k in keys]
+
+
+class TestEdgeCases:
+    def test_empty_ring(self):
+        ring = HashRing([])
+        assert not ring
+        assert ring.preference("key") == []
+        with pytest.raises(LookupError):
+            ring.owner("key")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only:1"])
+        assert all(ring.owner(k) == "only:1" for k in sample_keys(20))
+
+    def test_bad_virtual_nodes(self):
+        with pytest.raises(ValueError):
+            HashRing(NODES, virtual_nodes=0)

@@ -30,6 +30,13 @@ def pytest_configure(config) -> None:
         "(the smoke tests stay in the tier-1 fast path; heavyweight sweeps "
         "are additionally marked slow)",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster: exercises the multi-node cluster (ring, membership, "
+        "coordinator, failover).  Fast cluster tests run in the tier-1 "
+        "fast path and in CI's dedicated cluster step; full-circuit sweeps "
+        "are additionally marked slow",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,123 @@
+"""HTTP keep-alive: persistent connections on the server and in the client."""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.bench.factory import wire_row_layout
+from repro.service import ServerConfig, ServerThread, ServiceClient
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def server():
+    config = ServerConfig(port=0, workers=1, force_inline_pool=True)
+    with ServerThread(config) as (host, port):
+        yield host, port
+
+
+class TestServerKeepAlive:
+    def test_many_requests_on_one_connection(self, server):
+        host, port = server
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                body = response.read()
+                assert response.status == 200
+                assert b"ok" in body
+                assert response.will_close is False
+                assert response.headers["Connection"] == "keep-alive"
+        finally:
+            connection.close()
+
+    def test_connection_close_is_honored(self, server):
+        host, port = server
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", "/healthz", headers={"Connection": "close"})
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.will_close is True
+            assert response.headers["Connection"] == "close"
+        finally:
+            connection.close()
+
+    def test_http_1_0_defaults_to_close(self, server):
+        host, port = server
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        connection._http_vsn = 10
+        connection._http_vsn_str = "HTTP/1.0"
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.headers["Connection"] == "close"
+        finally:
+            connection.close()
+
+    def test_request_counters_across_one_connection(self, server):
+        """Each request on a persistent connection counts individually."""
+        host, port = server
+        client = ServiceClient(host, port)
+        before = client.stats()["server"]["received"]
+        client.healthz()
+        client.healthz()
+        after = client.stats()["server"]["received"]
+        assert after - before == 3  # two healthz + the stats call itself
+
+
+class TestClientConnectionReuse:
+    def test_client_pools_one_connection_per_address(self, server):
+        host, port = server
+        client = ServiceClient(host, port)
+        client.healthz()
+        pool = client._connections()
+        assert len(pool) == 1
+        first = pool[(host, port)]
+        client.stats()
+        client.healthz()
+        assert client._connections()[(host, port)] is first
+        client.close()
+        assert len(client._connections()) == 0
+
+    def test_client_recovers_from_server_restart(self):
+        """A pooled connection to a dead server is replaced transparently."""
+        config = ServerConfig(port=0, workers=1, force_inline_pool=True)
+        layout = wire_row_layout(num_wires=3, wire_length=400)
+        first = ServerThread(config)
+        host, port = first.start()
+        client = ServiceClient(host, port)
+        client.wait_until_healthy()
+        client.decompose(layout, name="w", algorithm="linear")
+        first.stop()
+        # Same address, brand-new server: the stale pooled connection fails
+        # and the client retries on a fresh one without surfacing an error.
+        second = ServerThread(ServerConfig(port=port, host=host, workers=1, force_inline_pool=True))
+        try:
+            second.start()
+            client.wait_until_healthy()
+            response = client.decompose(layout, name="w", algorithm="linear")
+            assert response["conflicts"] == 0
+        finally:
+            second.stop()
+
+    def test_drain_with_idle_keepalive_connection_is_fast(self):
+        """An idle persistent connection must not stall a graceful drain."""
+        config = ServerConfig(port=0, workers=1, force_inline_pool=True)
+        thread = ServerThread(config)
+        host, port = thread.start()
+        client = ServiceClient(host, port)
+        client.wait_until_healthy()  # leaves an idle pooled connection behind
+        import time
+
+        start = time.monotonic()
+        thread.stop(timeout=30)
+        assert time.monotonic() - start < 10
+        assert not thread._thread.is_alive()
