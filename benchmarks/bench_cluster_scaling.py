@@ -8,7 +8,11 @@ coordinator for N ∈ {1, 2, 3} nodes, recording:
 * cold-pass wall time and throughput (layouts/s, components routed/s);
 * the warm-pass **cache-affinity hit rate** — the fraction of routed
   components the owner node answered from its component cache, which the
-  consistent-hash routing should drive to 1.0 on a repeated workload.
+  consistent-hash routing should drive to 1.0 on a repeated workload;
+* **request amplification** — node HTTP requests per routed component
+  (``requests_per_component``) and the per-layout maximum, which the
+  ``POST /components`` micro-batching should hold at ≤ the number of
+  owning nodes per layout instead of one request per component.
 
 A standalone run
 
@@ -97,6 +101,20 @@ def _run_cluster(num_nodes: int, workload: List[Tuple[str, Layout]]) -> Dict:
                     "hits": after["component_cache_hits"]
                     - before["component_cache_hits"],
                 }
+            # Untimed instrumentation pass: per-layout request amplification.
+            # Kept out of the timed passes (the bracketing /stats round trips
+            # would pollute the throughput numbers); amplification does not
+            # depend on cache warmth, so sampling after the warm pass is fair.
+            max_requests_per_layout = 0
+            for name, layout in workload:
+                layout_before = client.stats()["coordinator"]["node_requests"]
+                client.decompose(layout, name=name, algorithm=ALGORITHM)
+                layout_requests = (
+                    client.stats()["coordinator"]["node_requests"] - layout_before
+                )
+                max_requests_per_layout = max(
+                    max_requests_per_layout, layout_requests
+                )
             stats = client.stats()
             coord = stats["coordinator"]
             routed_per_node = {
@@ -118,6 +136,16 @@ def _run_cluster(num_nodes: int, workload: List[Tuple[str, Layout]]) -> Dict:
                 else 0.0,
                 "reroutes": coord["reroutes"],
                 "routed_per_node": routed_per_node,
+                # Micro-batching: node round trips per routed component
+                # (1.0 would mean no batching at all) and the worst layout's
+                # request count, which should stay ≤ the node count.
+                "node_requests": coord["node_requests"],
+                "requests_per_component": round(
+                    coord["node_requests"] / coord["components_routed"], 4
+                )
+                if coord["components_routed"]
+                else 0.0,
+                "max_node_requests_per_layout": max_requests_per_layout,
             }
         finally:
             coordinator.stop()
@@ -163,6 +191,8 @@ if __name__ == "__main__":
             f"warm={run['warm_seconds']:.3f}s "
             f"({run['layouts_per_second_warm']:.1f} layouts/s warm) "
             f"affinity={run['warm_affinity_hit_rate']:.0%} "
+            f"req/component={run['requests_per_component']:.3f} "
+            f"max req/layout={run['max_node_requests_per_layout']} "
             f"routed={run['routed_per_node']}"
         )
     print(f"artifact written to {ARTIFACT_PATH}")

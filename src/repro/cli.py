@@ -234,6 +234,8 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
         virtual_nodes=args.virtual_nodes,
         component_timeout=args.component_timeout,
         fanout_threads=args.fanout_threads,
+        batch_max_components=args.batch_max_components,
+        batch_max_bytes=args.batch_max_bytes,
         max_body_bytes=args.max_body_mb * 1024 * 1024,
     )
     return run_coordinator(config)
@@ -544,6 +546,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="threads fanning component requests out to nodes",
+    )
+    coordinator.add_argument(
+        "--batch-max-components",
+        type=int,
+        default=64,
+        metavar="N",
+        help="most components micro-batched into one POST /components request",
+    )
+    coordinator.add_argument(
+        "--batch-max-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        metavar="BYTES",
+        help=(
+            "approximate serialized-size bound per micro-batch "
+            "(an oversized single component still ships, alone)"
+        ),
     )
     coordinator.add_argument(
         "--max-body-mb",

@@ -11,8 +11,11 @@ pool it **shards by component**:
    (:mod:`repro.runtime.hashing`) — the coordinator solves each distinct
    component once per request, like the PR 1 scheduler;
 3. each distinct component is routed to the node *owning* its hash on the
-   consistent-hash ring (:mod:`repro.cluster.ring`) and shipped as a
-   ``POST /component`` job over a keep-alive connection;
+   consistent-hash ring (:mod:`repro.cluster.ring`), and everything one
+   node owns for this layout is **micro-batched** into a single
+   ``POST /components`` round trip (bounded by ``batch_max_components`` /
+   ``batch_max_bytes``) over a keep-alive connection — request
+   amplification is O(owning nodes) per layout, not O(components);
 4. rank-space colorings come back and are merged deterministically, so the
    cluster's response is **byte-identical** to a direct
    :meth:`Decomposer.decompose` run — sharding changes where components are
@@ -24,10 +27,15 @@ its key range, and any coordinator routing the same standard cell later
 gets a cache hit (observable via ``repro_server_component_cache_hits_total``
 on the node and ``component_cache_hits`` on the coordinator).
 
-Failure handling: a component request that dies on a *connection* error
-marks the node dead (:meth:`Membership.mark_dead`), rebalances the ring and
-re-routes the component to the new owner — bounded by ``max_reroutes`` — so
-killing a node mid-batch degrades throughput, never correctness.  A node
+Failure handling: a batch request that dies on a *connection* error marks
+the node dead (:meth:`Membership.mark_dead`), rebalances the ring and
+re-routes only that batch's components to their new owners — results from
+the dead node's earlier batches are kept, and each component's re-route
+count is bounded by ``max_reroutes`` — so killing a node mid-batch degrades
+throughput, never correctness.  Solve counters (``components_routed``,
+per-node ``routed``, cache hits) increment only on *completed* solves;
+re-routed attempts land exclusively in the distinct ``reroutes`` counter,
+so ``/metrics`` never double-counts a component that failed over.  A node
 answering ``503`` (queue full) is *not* dead; its backpressure propagates
 through the coordinator as a ``503`` with ``Retry-After``, keeping the
 overload contract end-to-end.
@@ -58,10 +66,12 @@ from repro.graph.construction import build_decomposition_graph
 from repro.graph.decomposition_graph import DecompositionGraph
 from repro.cluster.membership import Membership, NoNodesAvailable
 from repro.runtime.component_io import (
+    ComponentErrorEntry,
     ComponentSolve,
     ComponentWireError,
-    component_request,
-    parse_component_response,
+    components_request,
+    graph_to_wire,
+    parse_components_response,
 )
 from repro.runtime.hashing import canonical_component_key
 from repro.service.base import BaseHttpServer, ThreadedServer
@@ -80,6 +90,22 @@ from repro.service.protocol import (
     parse_decompose_request,
     result_to_payload,
 )
+
+
+def _estimate_wire_bytes(wire: Dict) -> int:
+    """Approximate one graph wire's JSON-encoded size without encoding it.
+
+    ``batch_max_bytes`` is documented as approximate, so a structural
+    estimate (per-vertex and per-edge constants) is enough — actually
+    serialising every component here would double the JSON encoding cost of
+    the exact hot path micro-batching exists to cheapen.
+    """
+    vertices = wire.get("vertices", ())
+    edges = sum(
+        len(wire.get(kind, ()))
+        for kind in ("conflict_edges", "stitch_edges", "friend_edges")
+    )
+    return 64 + 28 * len(vertices) + 12 * edges
 
 
 class NodeBusyError(ReproError):
@@ -107,6 +133,19 @@ class NodeRequestError(ReproError):
 
 class ClusterRoutingError(ReproError):
     """Re-routing a component exhausted ``max_reroutes`` attempts (HTTP 502)."""
+
+
+class _NodeConnectionLost(ReproError):
+    """Internal: a batch died on a connection error; its node left the ring.
+
+    Carries the failed batch so the routing loop can re-route exactly those
+    components — results already returned by the node's earlier batches are
+    unaffected.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"lost connection to node {node_id}")
+        self.node_id = node_id
 
 
 @dataclass
@@ -141,6 +180,11 @@ class CoordinatorConfig:
     job_threads: int = 4
     #: Per-component node request timeout in seconds.
     component_timeout: float = 120.0
+    #: Most components shipped per ``POST /components`` micro-batch.
+    batch_max_components: int = 64
+    #: Approximate byte bound per micro-batch (serialised component wires);
+    #: a single component larger than this still ships, alone.
+    batch_max_bytes: int = 4 * 1024 * 1024
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     #: Seconds a connection may idle before sending a complete request.
     header_timeout: float = 30.0
@@ -176,7 +220,12 @@ class ClusterCoordinator(BaseHttpServer):
             for node in self.membership.nodes()
         }
         self._counters.update(
-            {"components_routed": 0, "component_cache_hits": 0, "reroutes": 0}
+            {
+                "components_routed": 0,
+                "component_cache_hits": 0,
+                "reroutes": 0,
+                "node_requests": 0,
+            }
         )
         self._routed: Dict[str, int] = {
             node_id: 0 for node_id in sorted(self._clients)
@@ -392,81 +441,172 @@ class ClusterCoordinator(BaseHttpServer):
             subgraphs[index] = subgraph
             groups.setdefault(key, []).append(index)
 
-        assert self._fanout_executor is not None
-        futures = {
-            key: self._fanout_executor.submit(
-                self._solve_component,
-                key,
-                subgraphs[indices[0]],
-                options.num_colors,
-                options.algorithm,
-            )
-            for key, indices in groups.items()
-        }
+        # One wire per distinct component, serialised once — reused across
+        # chunks and re-routes.  Ordered by first appearance so chunking
+        # (and therefore request traffic) is deterministic.
+        ordered_keys = sorted(groups, key=lambda key: groups[key][0])
+        wires = {key: graph_to_wire(subgraphs[groups[key][0]]) for key in ordered_keys}
+        solves = self._solve_components(
+            ordered_keys, wires, options.num_colors, options.algorithm
+        )
 
         coloring: Dict[int, int] = {}
-        first_error: Optional[BaseException] = None
-        # Always drain every future (abandoning them would leak fan-out
-        # threads into later requests), then re-raise the first failure.
         for key, indices in sorted(groups.items(), key=lambda kv: kv[1][0]):
-            try:
-                solve = futures[key].result()
-            except BaseException as exc:
-                if first_error is None:
-                    first_error = exc
-                continue
+            solve = solves[key]
             for index in indices:
                 coloring.update(solve.coloring_for(subgraphs[index]))
                 report.merge_from(solve.report)
-        if first_error is not None:
-            raise first_error
         return coloring
 
-    def _solve_component(
-        self, key: str, subgraph: DecompositionGraph, colors: int, algorithm: str
-    ) -> ComponentSolve:
-        """Route one distinct component to its owner node, with failover."""
-        wire = component_request(subgraph, colors, algorithm)
+    # ------------------------------------------------------- batched routing
+    def _solve_components(
+        self,
+        ordered_keys: List[str],
+        wires: Dict[str, Dict],
+        colors: int,
+        algorithm: str,
+    ) -> Dict[str, ComponentSolve]:
+        """Micro-batch the distinct components to their owner nodes.
+
+        Groups the pending keys by ring owner, ships each node one
+        ``POST /components`` request per chunk (bounded by the batch limits),
+        and loops: a chunk that dies with its node re-routes through the
+        rebalanced ring while every already-returned solve is kept.
+        """
         limit = self.config.max_reroutes or max(1, len(self.membership))
-        attempts = 0
-        while True:
-            node_id = self.membership.owner(key)  # raises NoNodesAvailable
-            client = self._clients[node_id]
-            try:
-                payload = client.component(wire)
-            except ServiceError as exc:
-                if exc.status == 503:
-                    raise NodeBusyError(node_id, exc.retry_after) from exc
-                if exc.is_timeout:
-                    # The node accepted the request and is still solving: a
-                    # slow component, not a dead node.  Marking it dead would
-                    # cascade the same heavy solve across every node; if the
-                    # node really is partitioned away, the heartbeat probes
-                    # will time out too and retire it through membership.
-                    raise NodeRequestError(
-                        node_id, 504, f"component solve timed out: {exc}"
-                    ) from exc
-                if exc.status == 0:
-                    # Hard connection failure: the node is gone.  Shrink the
-                    # ring now and re-route to the new owner of this range.
-                    self.membership.mark_dead(node_id, str(exc))
-                    attempts += 1
+        sizes = {key: _estimate_wire_bytes(wire) for key, wire in wires.items()}
+        solves: Dict[str, ComponentSolve] = {}
+        attempts: Dict[str, int] = {key: 0 for key in ordered_keys}
+        pending = list(ordered_keys)
+        while pending:
+            assignment: Dict[str, List[str]] = {}
+            for key in pending:
+                owner = self.membership.owner(key)  # raises NoNodesAvailable
+                assignment.setdefault(owner, []).append(key)
+            tasks: List[Tuple[str, List[str]]] = []
+            for node_id in sorted(assignment):
+                for chunk in self._chunk_keys(assignment[node_id], sizes):
+                    tasks.append((node_id, chunk))
+            assert self._fanout_executor is not None
+            futures = [
+                self._fanout_executor.submit(
+                    self._send_batch, node_id, chunk, wires, colors, algorithm
+                )
+                for node_id, chunk in tasks
+            ]
+            retry: List[str] = []
+            first_error: Optional[BaseException] = None
+            # Always drain every future (abandoning them would leak fan-out
+            # threads into later requests), then re-raise the first failure.
+            for (node_id, chunk), future in zip(tasks, futures):
+                try:
+                    outcomes = future.result()
+                except _NodeConnectionLost as exc:
+                    # The chunk died with its connection: nothing from it was
+                    # solved, so exactly its components re-route.  Counted in
+                    # the distinct reroutes counter only — the solve counters
+                    # wait for completions.
                     with self._counter_lock:
-                        self._counters["reroutes"] += 1
-                    if attempts > limit:
-                        raise ClusterRoutingError(
-                            f"component {key[:12]} re-routed {attempts} times "
-                            f"without finding a live node"
-                        ) from exc
+                        self._counters["reroutes"] += len(chunk)
+                    for key in chunk:
+                        attempts[key] += 1
+                        if attempts[key] > limit and first_error is None:
+                            first_error = ClusterRoutingError(
+                                f"component {key[:12]} re-routed {attempts[key]} "
+                                f"times without finding a live node"
+                            )
+                            first_error.__cause__ = exc
+                    retry.extend(chunk)
                     continue
-                raise NodeRequestError(node_id, exc.status, str(exc)) from exc
-            solve = parse_component_response(payload)
-            with self._counter_lock:
-                self._counters["components_routed"] += 1
-                self._routed[node_id] += 1
-                if solve.cache_hit:
-                    self._counters["component_cache_hits"] += 1
-            return solve
+                except BaseException as exc:
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                for key, outcome in zip(chunk, outcomes):
+                    if isinstance(outcome, ComponentSolve):
+                        solves[key] = outcome
+                    elif first_error is None:
+                        assert isinstance(outcome, ComponentErrorEntry)
+                        first_error = NodeRequestError(
+                            node_id, outcome.status, outcome.message
+                        )
+            if first_error is not None:
+                raise first_error
+            pending = retry
+        return solves
+
+    def _chunk_keys(
+        self, keys: List[str], sizes: Dict[str, int]
+    ) -> List[List[str]]:
+        """Split one node's keys into batches under the component/byte caps."""
+        max_components = max(1, self.config.batch_max_components)
+        max_bytes = max(1, self.config.batch_max_bytes)
+        chunks: List[List[str]] = []
+        chunk: List[str] = []
+        chunk_bytes = 0
+        for key in keys:
+            size = sizes[key]
+            if chunk and (
+                len(chunk) >= max_components or chunk_bytes + size > max_bytes
+            ):
+                chunks.append(chunk)
+                chunk, chunk_bytes = [], 0
+            chunk.append(key)
+            chunk_bytes += size
+        if chunk:
+            chunks.append(chunk)
+        return chunks
+
+    def _send_batch(
+        self,
+        node_id: str,
+        chunk: List[str],
+        wires: Dict[str, Dict],
+        colors: int,
+        algorithm: str,
+    ) -> List[object]:
+        """Ship one micro-batch to one node; runs on a fan-out thread."""
+        payload = components_request([wires[key] for key in chunk], colors, algorithm)
+        with self._counter_lock:
+            self._counters["node_requests"] += 1
+        client = self._clients[node_id]
+        try:
+            response = client.components(payload)
+        except ServiceError as exc:
+            if exc.status == 503:
+                raise NodeBusyError(node_id, exc.retry_after) from exc
+            if exc.is_timeout:
+                # The node accepted the batch and is still solving: slow
+                # components, not a dead node.  Marking it dead would
+                # cascade the same heavy solves across every node; if the
+                # node really is partitioned away, the heartbeat probes
+                # will time out too and retire it through membership.
+                raise NodeRequestError(
+                    node_id, 504, f"component batch timed out: {exc}"
+                ) from exc
+            if exc.status == 0:
+                # Hard connection failure: the node is gone.  Shrink the
+                # ring now; the routing loop re-routes this chunk to the
+                # new owners of its key ranges.
+                self.membership.mark_dead(node_id, str(exc))
+                raise _NodeConnectionLost(node_id) from exc
+            raise NodeRequestError(node_id, exc.status, str(exc)) from exc
+        outcomes = parse_components_response(response)
+        if len(outcomes) != len(chunk):
+            raise ComponentWireError(
+                f"node {node_id} answered {len(outcomes)} results "
+                f"for a batch of {len(chunk)} components"
+            )
+        # Completed solves only: a re-routed attempt must never inflate the
+        # solve counters (it shows up in `reroutes` instead).
+        solved = [item for item in outcomes if isinstance(item, ComponentSolve)]
+        with self._counter_lock:
+            self._counters["components_routed"] += len(solved)
+            self._routed[node_id] += len(solved)
+            self._counters["component_cache_hits"] += sum(
+                1 for item in solved if item.cache_hit
+            )
+        return outcomes
 
     # ------------------------------------------------------------ telemetry
     def _healthz(self) -> Dict[str, object]:
@@ -540,8 +680,16 @@ def coordinator_metrics_text(stats: Dict) -> str:
         ),
         counter_family(
             "repro_coordinator_reroutes_total",
-            "Components re-routed after a node connection failure.",
+            "Components re-routed after a node connection failure (failed "
+            "attempts land only here; completed solves land only in "
+            "repro_coordinator_components_routed_total — never both).",
             [({}, coordinator.get("reroutes", 0))],
+        ),
+        counter_family(
+            "repro_coordinator_node_requests_total",
+            "HTTP requests sent to nodes (micro-batched: one per owning "
+            "node per layout when batches fit the caps).",
+            [({}, coordinator.get("node_requests", 0))],
         ),
         counter_family(
             "repro_coordinator_rebalances_total",

@@ -31,6 +31,23 @@ Response::
       "solver_timeouts": 0
     }
 
+Micro-batch (``POST /components``) — many components of one layout in a
+single node round trip (the coordinator's hot path; HTTP overhead is
+amortised across the batch)::
+
+    {
+      "components": [{"graph": {...}}, ...],
+      "colors": 4,
+      "algorithm": "sdp-backtrack"
+    }
+
+Batch response, ``results`` aligned index-for-index with ``components``;
+each entry is either a component response (above) or a per-component error
+envelope, so one bad component never poisons its batch siblings::
+
+    {"results": [{...component response...},
+                 {"error": {"status": 422, "message": "..."}}, ...]}
+
 The coloring travels in canonical rank space (rank = position in sorted
 vertex-id order), exactly how the component cache stores records: the
 coordinator replays it onto its own vertex ids through the rank map, and —
@@ -190,6 +207,74 @@ def validate_component_request(payload: Dict) -> None:
                 raise ComponentWireError(
                     f"'graph.{edge_set}' entry {edge!r} does not join known vertices"
                 )
+
+
+# -------------------------------------------------------------- micro-batch
+def components_request(graphs: List[Dict], colors: int, algorithm: str) -> Dict:
+    """Build one ``POST /components`` request from pre-serialised graph wires.
+
+    ``graphs`` are :func:`graph_to_wire` dicts — the coordinator serialises
+    each distinct component once and reuses the wire across re-routes, so
+    this function only wraps them in the batch envelope.
+    """
+    return {
+        "components": [{"graph": wire} for wire in graphs],
+        "colors": colors,
+        "algorithm": algorithm,
+    }
+
+
+class ComponentErrorEntry:
+    """One failed entry of a ``POST /components`` response (coordinator side)."""
+
+    __slots__ = ("status", "message")
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComponentErrorEntry(status={self.status}, message={self.message!r})"
+
+
+def component_error_entry(status: int, message: str) -> Dict:
+    """Encode one per-component error envelope (node side)."""
+    return {"error": {"status": int(status), "message": str(message)}}
+
+
+def parse_components_response(payload: Dict) -> List[object]:
+    """Validate one batch response into per-entry outcomes.
+
+    Returns a list aligned with the request's ``components``: each element
+    is a :class:`ComponentSolve` or a :class:`ComponentErrorEntry`.  A
+    malformed *entry* becomes an error entry (it fails only its layout); a
+    malformed *envelope* raises :class:`ComponentWireError`.
+    """
+    if not isinstance(payload, dict):
+        raise ComponentWireError("components response must be a JSON object")
+    results = payload.get("results")
+    if not isinstance(results, list):
+        raise ComponentWireError("'results' must be an array")
+    outcomes: List[object] = []
+    for position, entry in enumerate(results):
+        if isinstance(entry, dict) and "error" in entry:
+            error = entry["error"] if isinstance(entry["error"], dict) else {}
+            outcomes.append(
+                ComponentErrorEntry(
+                    status=int(error.get("status", 500)),
+                    message=str(error.get("message", "component failed")),
+                )
+            )
+            continue
+        try:
+            outcomes.append(parse_component_response(entry))
+        except ComponentWireError as exc:
+            outcomes.append(
+                ComponentErrorEntry(
+                    status=502, message=f"results[{position}] malformed: {exc}"
+                )
+            )
+    return outcomes
 
 
 # ------------------------------------------------------------------ response

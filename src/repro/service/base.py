@@ -135,17 +135,29 @@ class BaseHttpServer:
 
     # ---------------------------------------------------------- job control
     async def _execute_jobs(
-        self, jobs: List[Dict]
-    ) -> Tuple[Optional[List[Dict]], Optional[ErrorResponse]]:
+        self,
+        jobs: List[Dict],
+        units: Optional[int] = None,
+        collect_errors: bool = False,
+    ) -> Tuple[Optional[List], Optional[ErrorResponse]]:
         """Admission control + backend execution of parsed job dicts.
 
         Returns ``(results, None)`` on success or ``(None, error response)``
         when the request was shed, timed out or failed — the single place
         where queue limits, in-flight slot accounting and the overload
         contract live, shared by every job endpoint of every subclass.
+
+        ``units`` is how many admission slots the request occupies (default:
+        one per job).  A component micro-batch passes ``units=1`` — it is one
+        node round trip whose internal ordering the pool's priority queue
+        owns, so admission control sheds *requests*, not components.  With
+        ``collect_errors`` a failing job becomes its exception in the results
+        list instead of failing the whole request (per-component granularity
+        for batch endpoints).
         """
         loop = asyncio.get_running_loop()
-        if len(jobs) > self.queue_limit:
+        units = len(jobs) if units is None else max(1, min(units, len(jobs)))
+        if units > self.queue_limit:
             # Would never fit, even on an idle server: a permanent-client
             # error, not transient overload — 503 + Retry-After would send
             # the client into an infinite retry loop.
@@ -156,7 +168,7 @@ class BaseHttpServer:
                 f"queue capacity of {self.queue_limit}; split the batch",
             )
             return None, (status, body, None)
-        if self._draining or self._inflight + len(jobs) > self.queue_limit:
+        if self._draining or self._inflight + units > self.queue_limit:
             self._counters["rejected"] += 1
             reason = (
                 f"{self.queue_noun} is draining" if self._draining else "queue is full"
@@ -166,18 +178,25 @@ class BaseHttpServer:
             )
             return None, (status, body, {"Retry-After": str(self.retry_after_seconds)})
 
-        # A slot is held from admission until its job leaves the backend —
+        # Slots are held from admission until the jobs leave the backend —
         # on the happy path that is when gather() resolves, but a 504'd
-        # request abandons jobs that keep running, so each submitted job
-        # releases its own slot from a done-callback instead of this
-        # coroutine.
-        self._inflight += len(jobs)
+        # request abandons jobs that keep running, so slots are released
+        # from job done-callbacks instead of this coroutine.  With
+        # units < len(jobs) the last `units` completions each free one slot,
+        # so the accounting stays exact for micro-batches too.
+        self._inflight += units
+        state = {"remaining": len(jobs)}
+
+        def _finish_one() -> None:
+            if state["remaining"] <= units:
+                self._inflight -= 1
+            state["remaining"] -= 1
 
         def _release_slot(_future=None) -> None:
             try:
-                loop.call_soon_threadsafe(self._decrement_inflight)
+                loop.call_soon_threadsafe(_finish_one)
             except RuntimeError:  # loop already closed (late drain)
-                self._inflight -= 1
+                _finish_one()
 
         unsubmitted = len(jobs)
         try:
@@ -187,7 +206,10 @@ class BaseHttpServer:
                 raise submit_error
             try:
                 results = await asyncio.wait_for(
-                    asyncio.gather(*[asyncio.wrap_future(f) for f in futures]),
+                    asyncio.gather(
+                        *[asyncio.wrap_future(f) for f in futures],
+                        return_exceptions=collect_errors,
+                    ),
                     timeout=self.request_timeout,
                 )
             except asyncio.TimeoutError:
@@ -198,11 +220,9 @@ class BaseHttpServer:
         finally:
             # Only the never-submitted jobs' slots; the rest are released by
             # their done-callbacks when the backend really finishes them.
-            self._inflight -= unsubmitted
+            for _ in range(unsubmitted):
+                _finish_one()
         return list(results), None
-
-    def _decrement_inflight(self) -> None:
-        self._inflight -= 1
 
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> Tuple[str, int]:

@@ -28,6 +28,8 @@ import json
 import socket
 import threading
 import time
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -35,6 +37,37 @@ from repro.geometry.layout import Layout
 
 #: One server address.
 Address = Tuple[str, int]
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header into seconds, defensively.
+
+    RFC 9110 allows both delta-seconds and an HTTP-date; real servers and
+    proxies emit both, plus the occasional junk.  A backpressure *hint* must
+    never turn into a client crash, so anything unparseable degrades to
+    ``None`` (caller falls back to its own pacing) and dates in the past
+    clamp to ``0.0``.
+    """
+    if value is None:
+        return None
+    text = str(value).strip()
+    if not text:
+        return None
+    try:
+        seconds = float(text)
+    except ValueError:
+        try:
+            target = parsedate_to_datetime(text)
+        except (TypeError, ValueError, IndexError):
+            return None
+        if target is None:
+            return None
+        if target.tzinfo is None:
+            target = target.replace(tzinfo=timezone.utc)
+        seconds = (target - datetime.now(timezone.utc)).total_seconds()
+    if seconds != seconds or seconds in (float("inf"), float("-inf")):  # NaN/inf
+        return None
+    return max(0.0, seconds)
 
 
 class ServiceError(ReproError):
@@ -169,11 +202,10 @@ class ServiceClient:
             raise ServiceError(status, f"non-JSON response: {raw[:200]!r}") from exc
         if status >= 400:
             message = decoded.get("error", {}).get("message", raw.decode(errors="replace"))
-            retry_after = response_headers.get("Retry-After")
             raise ServiceError(
                 status,
                 message,
-                retry_after=float(retry_after) if retry_after else None,
+                retry_after=parse_retry_after(response_headers.get("Retry-After")),
             )
         return decoded
 
@@ -247,6 +279,16 @@ class ServiceClient:
         """
         return self._request("POST", "/component", payload)
 
+    def components(self, payload: Dict) -> Dict:
+        """Solve a component micro-batch (``POST /components``).
+
+        ``payload`` is a
+        :func:`repro.runtime.component_io.components_request` dict; the
+        response's ``results`` list is aligned with the request and carries
+        a per-component solve or error envelope.
+        """
+        return self._request("POST", "/components", payload)
+
     # ------------------------------------------------------------- helpers
     @staticmethod
     def _job_payload(
@@ -277,15 +319,24 @@ class ServiceClient:
         return payload
 
     def wait_until_healthy(self, timeout: float = 30.0, interval: float = 0.1) -> Dict:
-        """Poll ``/healthz`` until the server answers ``ok`` (or time out)."""
+        """Poll ``/healthz`` until the server answers ``ok`` (or time out).
+
+        A 503 along the way is backpressure, not unreachability: when it
+        carries a ``Retry-After`` hint the next probe waits that long
+        (capped by the remaining deadline) instead of hammering the fixed
+        interval — the server asked for the pacing, honor it.
+        """
         deadline = time.monotonic() + timeout
         last: Optional[ServiceError] = None
         while time.monotonic() < deadline:
+            delay = interval
             try:
                 health = self.healthz()
                 if health.get("status") == "ok":
                     return health
             except ServiceError as exc:
                 last = exc
-            time.sleep(interval)
+                if exc.status == 503 and exc.retry_after is not None:
+                    delay = max(interval, exc.retry_after)
+            time.sleep(max(0.0, min(delay, deadline - time.monotonic())))
         raise ServiceError(0, f"server not healthy after {timeout}s: {last}")

@@ -90,6 +90,18 @@ def server_metrics_text(stats: Dict) -> str:
             "(cache-affinity hits when routed by a cluster coordinator).",
             [({}, server.get("component_cache_hits", 0))],
         ),
+        counter_family(
+            "repro_server_component_batches_total",
+            "Component micro-batch requests served via POST /components.",
+            [({}, server.get("component_batches", 0))],
+        ),
+        counter_family(
+            "repro_server_batched_components_total",
+            "Components received inside POST /components micro-batches "
+            "(divide by repro_server_component_batches_total for the mean "
+            "batch size).",
+            [({}, server.get("batched_components", 0))],
+        ),
         gauge_family(
             "repro_server_inflight_jobs",
             "Jobs admitted and not yet finished (queue depth).",
@@ -117,6 +129,28 @@ def server_metrics_text(stats: Dict) -> str:
             "repro_pool_workers",
             "Size of the worker pool.",
             [({"mode": str(pool.get("mode", "unknown"))}, pool.get("workers", 0))],
+        ),
+        gauge_family(
+            "repro_pool_queue_depth",
+            "Jobs admitted but not yet dispatched to a worker, by priority "
+            "class.",
+            [
+                ({"class": klass}, depth)
+                for klass, depth in sorted(
+                    (pool.get("queue_depth") or {}).items()
+                )
+            ],
+        ),
+        gauge_family(
+            "repro_pool_active_jobs",
+            "Jobs currently executing on a worker.",
+            [({}, pool.get("active", 0))],
+        ),
+        counter_family(
+            "repro_pool_priority_bumps_total",
+            "Queued jobs dispatched by the age-based anti-starvation bump "
+            "instead of smallest-cost order.",
+            [({}, pool.get("priority_bumps", 0))],
         ),
     ]
     if cache.get("backend") == "sqlite":

@@ -9,6 +9,17 @@ for every later request, and for the next server instance pointed at the
 same file.  Without it, each worker keeps a process-private in-memory LRU —
 still effective for repeated cells within the worker's own request stream.
 
+Admission is **priority-aware**: jobs wait in a smallest-estimated-cost-first
+queue (cost ≈ vertices for a component job, shapes for a layout job) and are
+handed to the executor only when a worker is free, so a small interactive
+request overtakes the long tail of a large batch instead of queueing behind
+it.  Pure cost order would let a steady stream of small jobs starve a big
+one forever; an **age bump** prevents that — once the oldest queued job has
+waited ``starvation_age_seconds``, it is dispatched next regardless of cost.
+Queue depth per priority class (``interactive`` vs ``batch``) and the bump
+count are exposed through :meth:`stats` (and from there ``/stats`` and
+``/metrics``).
+
 Environments that cannot fork (locked-down sandboxes) are detected at
 startup by running a probe job through the pool; on failure the pool falls
 back to long-lived *threads* in the server process, trading parallelism for
@@ -22,15 +33,21 @@ version-skew-proof.
 
 from __future__ import annotations
 
+import heapq
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.decomposer import Decomposer
 from repro.runtime.cache import open_cache
 from repro.runtime.scheduler import resolve_workers
 from repro.service import protocol
+
+#: The queue's priority classes, in display order.
+PRIORITY_CLASSES = ("interactive", "batch")
 
 #: Per-thread (and, in process mode, per-process) worker state.  A
 #: ``threading.local`` covers both executors: a worker process runs its
@@ -49,9 +66,9 @@ def _worker_run(job: Dict) -> Dict:
 
     ``kind`` selects the work unit: whole-layout decomposition (the default,
     what ``POST /decompose``/``/batch`` enqueue) or a single divided
-    component (``POST /component``, the cluster's unit of work — solved
-    against this worker's component cache so routed-by-hash repeats are
-    affinity hits).
+    component (``POST /component`` and each entry of ``POST /components``,
+    the cluster's unit of work — solved against this worker's component
+    cache so routed-by-hash repeats are affinity hits).
     """
     cache = getattr(_worker_state, "cache", None)
     if job.get("kind") == "component":
@@ -64,6 +81,22 @@ def _worker_run(job: Dict) -> Dict:
 def _worker_probe() -> str:
     """Startup canary proving the pool can actually run code."""
     return "ok"
+
+
+def estimate_job_cost(job: Dict) -> int:
+    """Estimate one job's solve cost for the priority queue.
+
+    Deliberately cheap and structural — vertices for a component, shapes for
+    a layout — because the estimate only has to *order* jobs (small before
+    large), not predict wall time.
+    """
+    if job.get("kind") == "component":
+        graph = job.get("graph")
+        vertices = graph.get("vertices") if isinstance(graph, dict) else None
+        return max(1, len(vertices)) if isinstance(vertices, list) else 1
+    layout = job.get("layout")
+    shapes = layout.get("shapes") if isinstance(layout, dict) else None
+    return max(1, len(shapes)) if isinstance(shapes, list) else 1
 
 
 @dataclass
@@ -79,6 +112,22 @@ class PoolConfig:
     #: Skip process workers and run on threads (used by tests that need to
     #: reach into in-flight jobs; also a sane choice under ``workers=1``).
     force_inline: bool = False
+    #: Oldest-job wait beyond which the age bump overrides cost order.
+    #: ``0`` degenerates to FIFO dispatch.
+    starvation_age_seconds: float = 5.0
+
+
+@dataclass
+class _PendingJob:
+    """One admitted job waiting for (or holding) a worker."""
+
+    seq: int
+    cost: int
+    klass: str
+    enqueued_at: float
+    job: Dict
+    future: Future = field(default_factory=Future)
+    dispatched: bool = False
 
 
 class WorkerPool:
@@ -89,8 +138,22 @@ class WorkerPool:
         self.workers = resolve_workers(config.workers)
         self.mode = "unstarted"
         self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
         self._executor = None
-        self._counters = {"submitted": 0, "completed": 0, "failed": 0}
+        self._stopping = False
+        self._seq = 0
+        self._active = 0
+        #: Cost order (lazy deletion: entries stay until popped).
+        self._heap: List[Tuple[int, int, _PendingJob]] = []
+        #: Arrival order, for the age-based anti-starvation bump.
+        self._fifo: Deque[_PendingJob] = deque()
+        self._queued: Dict[str, int] = {klass: 0 for klass in PRIORITY_CLASSES}
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "priority_bumps": 0,
+        }
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -135,30 +198,165 @@ class WorkerPool:
         return executor, "inline"
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the workers; with ``wait`` the call blocks until jobs finish."""
+        """Stop the workers; with ``wait`` the call blocks until jobs finish.
+
+        ``wait=True`` drains the admission queue too — queued jobs were
+        admitted, so a graceful drain completes them.  ``wait=False``
+        cancels everything still queued and abandons the executor.
+        """
         with self._lock:
+            self._stopping = True
+            if wait:
+                self._drained.wait_for(
+                    lambda: self._active == 0 and not self._pending_count_locked()
+                )
+                cancelled: List[_PendingJob] = []
+            else:
+                cancelled = [entry for entry in self._fifo if not entry.dispatched]
+                for entry in cancelled:
+                    entry.dispatched = True
+                    self._queued[entry.klass] -= 1
+                self._fifo.clear()
+                self._heap.clear()
             executor, self._executor = self._executor, None
+        for entry in cancelled:
+            entry.future.cancel()
         if executor is not None:
             executor.shutdown(wait=wait)
 
     # -------------------------------------------------------------- serving
-    def submit(self, job: Dict) -> Future:
-        """Queue one job dict; the future resolves to the response payload."""
+    def submit(self, job: Dict, klass: str = "interactive") -> Future:
+        """Queue one job dict; the future resolves to the response payload.
+
+        ``klass`` is the priority class reported in queue-depth telemetry
+        (``interactive`` for single requests, ``batch`` for batch members);
+        dispatch order itself is by estimated cost, smallest first.
+        """
+        if klass not in self._queued:
+            klass = "interactive"
+        entry = _PendingJob(
+            seq=0,
+            cost=estimate_job_cost(job),
+            klass=klass,
+            enqueued_at=time.monotonic(),
+            job=job,
+        )
         with self._lock:
-            if self._executor is None:
+            if self._stopping or self.mode == "unstarted":
                 raise RuntimeError("pool is not running")
-            try:
-                future = self._executor.submit(_worker_run, job)
-            except Exception:
-                # A worker died hard (OOM kill) and broke the pool: rebuild
-                # it once and retry, so one bad request cannot take the
-                # service down for good.
-                self._executor.shutdown(wait=False)
-                self._executor, self.mode = self._build_executor()
-                future = self._executor.submit(_worker_run, job)
+            self._seq += 1
+            entry.seq = self._seq
             self._counters["submitted"] += 1
-        future.add_done_callback(self._on_done)
-        return future
+            self._queued[entry.klass] += 1
+            heapq.heappush(self._heap, (entry.cost, entry.seq, entry))
+            self._fifo.append(entry)
+            failures, submissions = self._dispatch_locked()
+        entry.future.add_done_callback(self._on_done)
+        self._after_dispatch(failures, submissions)
+        return entry.future
+
+    # ----------------------------------------------------------- dispatching
+    def _pending_count_locked(self) -> int:
+        return sum(self._queued.values())
+
+    def _pick_locked(self) -> Optional[_PendingJob]:
+        """Choose the next job: cheapest, unless the oldest has starved."""
+        while self._fifo and self._fifo[0].dispatched:
+            self._fifo.popleft()
+        while self._heap and self._heap[0][2].dispatched:
+            heapq.heappop(self._heap)
+        if not self._fifo:
+            return None
+        oldest = self._fifo[0]
+        cheapest = self._heap[0][2]
+        age = time.monotonic() - oldest.enqueued_at
+        if oldest is not cheapest and age >= self.config.starvation_age_seconds:
+            self._counters["priority_bumps"] += 1
+            chosen = oldest
+        else:
+            chosen = cheapest
+        chosen.dispatched = True
+        self._queued[chosen.klass] -= 1
+        return chosen
+
+    def _dispatch_locked(
+        self,
+    ) -> Tuple[
+        List[Tuple[_PendingJob, BaseException]], List[Tuple[_PendingJob, Future]]
+    ]:
+        """Feed free workers from the queue (caller holds the lock).
+
+        Returns ``(failures, submissions)``.  The caller must process both
+        *after* releasing the lock: failed entries get their futures failed,
+        submitted entries get their done-callback attached.  Attaching the
+        callback under the lock would deadlock — a job that finishes before
+        ``add_done_callback`` runs invokes the callback synchronously on
+        this thread, and :meth:`_on_worker_done` re-acquires the lock.
+        """
+        failures: List[Tuple[_PendingJob, BaseException]] = []
+        submissions: List[Tuple[_PendingJob, Future]] = []
+        while self._active < self.workers:
+            if not self._pending_count_locked():
+                break
+            entry = self._pick_locked()
+            if entry is None:
+                break
+            try:
+                inner = self._submit_to_executor_locked(entry.job)
+            except Exception as exc:
+                # Rebuild failed too: fail this job, keep draining the queue
+                # (the next dispatch retries a fresh executor).
+                failures.append((entry, exc))
+                continue
+            self._active += 1
+            submissions.append((entry, inner))
+        return failures, submissions
+
+    def _after_dispatch(
+        self,
+        failures: List[Tuple[_PendingJob, BaseException]],
+        submissions: List[Tuple[_PendingJob, Future]],
+    ) -> None:
+        """Lock-free tail of a dispatch round: wire callbacks, fail entries."""
+        for entry, inner in submissions:
+            inner.add_done_callback(
+                lambda inner_future, pending=entry: self._on_worker_done(
+                    pending, inner_future
+                )
+            )
+        for entry, exc in failures:
+            entry.future.set_exception(exc)
+
+    def _submit_to_executor_locked(self, job: Dict) -> Future:
+        if self._executor is None:
+            self._executor, self.mode = self._build_executor()
+        try:
+            return self._executor.submit(_worker_run, job)
+        except Exception:
+            # A worker died hard (OOM kill) and broke the pool: rebuild it
+            # once and retry, so one bad request cannot take the service
+            # down for good.
+            self._executor.shutdown(wait=False)
+            self._executor, self.mode = self._build_executor()
+            return self._executor.submit(_worker_run, job)
+
+    def _on_worker_done(self, entry: _PendingJob, inner: Future) -> None:
+        with self._lock:
+            self._active -= 1
+            failures, submissions = self._dispatch_locked()
+            if self._active == 0 and not self._pending_count_locked():
+                self._drained.notify_all()
+        self._after_dispatch(failures, submissions)
+        # Propagate outside the lock: the outer future's done-callbacks (the
+        # server's slot release, user code) must never run under it.
+        if inner.cancelled():
+            entry.future.cancel()
+            return
+        exc = inner.exception()
+        if exc is not None:
+            entry.future.set_exception(exc)
+        else:
+            entry.future.set_result(inner.result())
 
     def _on_done(self, future: Future) -> None:
         with self._lock:
@@ -171,4 +369,12 @@ class WorkerPool:
         """Snapshot for ``/stats``."""
         with self._lock:
             counters = dict(self._counters)
-        return {"mode": self.mode, "workers": self.workers, **counters}
+            queue_depth = dict(self._queued)
+            active = self._active
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "active": active,
+            "queue_depth": queue_depth,
+            **counters,
+        }

@@ -18,6 +18,14 @@ Endpoints
     cluster: a coordinator routes each component to its cache-owning node,
     so a node answers from its component cache whenever any coordinator has
     routed the same canonical component here before.
+``POST /components``
+    A **micro-batch** of components in one round trip — how a cluster
+    coordinator ships everything this node owns for one layout, turning
+    per-component request amplification into one request per owning node.
+    The batch occupies a single admission slot (its members are ordered by
+    the pool's priority queue, not by the HTTP queue limit) and the
+    response carries per-component results: one bad component yields an
+    error entry for itself, never a failure of its batch siblings.
 ``GET /healthz``
     Liveness: status, pool mode, in-flight count, uptime.
 ``GET /stats``
@@ -34,6 +42,11 @@ Operational behaviour
   running; beyond that the server answers ``503`` with a ``Retry-After``
   header instead of building an unbounded backlog.  Load shedding at the
   door is what keeps tail latency sane under overload.
+* **Priority scheduling** — admitted jobs wait in the worker pool's
+  smallest-estimated-cost-first queue (with an age-based anti-starvation
+  bump), so an interactive single-layout request overtakes a large batch's
+  tail instead of queueing behind it.  Queue depth per priority class is
+  visible in ``/stats`` and ``/metrics``.
 * **Per-request timeouts** — a solve that exceeds ``request_timeout``
   seconds answers ``504``; the worker finishes (and caches) in the
   background, so a retry is typically a cache hit.
@@ -52,7 +65,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.runtime.component_io import ComponentWireError, validate_component_request
+from repro.runtime.component_io import (
+    ComponentWireError,
+    component_error_entry,
+    options_for,
+    validate_component_request,
+)
 from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.http import (
     DEFAULT_MAX_BODY_BYTES,
@@ -93,6 +111,9 @@ class ServerConfig:
     header_timeout: float = 30.0
     #: Run jobs on threads in-process instead of worker processes.
     force_inline_pool: bool = False
+    #: Oldest-queued-job wait beyond which the pool's age bump overrides
+    #: smallest-cost-first dispatch (0 = FIFO).
+    starvation_age_seconds: float = 5.0
 
 
 class DecompositionServer(BaseHttpServer):
@@ -131,9 +152,17 @@ class DecompositionServer(BaseHttpServer):
                 cache_db=self.config.cache_db,
                 cache_max_entries=self.config.cache_max_entries,
                 force_inline=self.config.force_inline_pool,
+                starvation_age_seconds=self.config.starvation_age_seconds,
             )
         )
-        self._counters.update({"components": 0, "component_cache_hits": 0})
+        self._counters.update(
+            {
+                "components": 0,
+                "component_cache_hits": 0,
+                "component_batches": 0,
+                "batched_components": 0,
+            }
+        )
         self._cache_stats_start: Dict[str, int] = {}
 
     # ------------------------------------------------------------ lifecycle
@@ -179,7 +208,17 @@ class DecompositionServer(BaseHttpServer):
             return await self._serve_jobs(request, batch=True)
         if route == ("POST", "/component"):
             return await self._serve_component(request)
-        known = ("/healthz", "/stats", "/metrics", "/decompose", "/batch", "/component")
+        if route == ("POST", "/components"):
+            return await self._serve_components(request)
+        known = (
+            "/healthz",
+            "/stats",
+            "/metrics",
+            "/decompose",
+            "/batch",
+            "/component",
+            "/components",
+        )
         if route[1] in known:
             return (*error_body(405, f"{request.method} not allowed on {route[1]}"), None)
         return (*error_body(404, f"no such endpoint {route[1]!r}"), None)
@@ -203,6 +242,8 @@ class DecompositionServer(BaseHttpServer):
         except ProtocolError as exc:
             self._counters["invalid"] += 1
             return (*error_body(400, str(exc)), None)
+        for job in jobs:
+            job["priority_class"] = "batch" if batch else "interactive"
 
         results, error = await self._execute_jobs(jobs)
         if error is not None:
@@ -238,6 +279,7 @@ class DecompositionServer(BaseHttpServer):
             self._counters["invalid"] += 1
             return (*error_body(400, str(exc)), None)
 
+        job["priority_class"] = "interactive"
         results, error = await self._execute_jobs([job])
         if error is not None:
             return error
@@ -246,6 +288,94 @@ class DecompositionServer(BaseHttpServer):
         if payload.get("cache_hit"):
             self._counters["component_cache_hits"] += 1
         return 200, json_body(payload), None
+
+    async def _serve_components(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        """One component micro-batch: per-component results, one admission slot."""
+        loop = asyncio.get_running_loop()
+
+        def _decode_batch() -> List[object]:
+            payload = request.json()
+            if not isinstance(payload, dict):
+                raise ComponentWireError("request body must be a JSON object")
+            items = payload.get("components")
+            if not isinstance(items, list) or not items:
+                raise ComponentWireError("'components' must be a non-empty array")
+            colors = payload.get("colors", 4)
+            algorithm = payload.get("algorithm", "sdp-backtrack")
+            options_for(colors, algorithm)  # envelope-level 400
+            # Per-entry validation: a malformed component fails only itself
+            # (its layout, on the coordinator side), never its batch
+            # siblings — so errors become entries, not a request-level 400.
+            entries: List[object] = []
+            for item in items:
+                candidate = {
+                    "kind": "component",
+                    "graph": item.get("graph") if isinstance(item, dict) else None,
+                    "colors": colors,
+                    "algorithm": algorithm,
+                    "priority_class": "batch",
+                }
+                try:
+                    validate_component_request(candidate)
+                except ComponentWireError as exc:
+                    entries.append(exc)
+                    continue
+                entries.append(candidate)
+            return entries
+
+        try:
+            entries = await loop.run_in_executor(None, _decode_batch)
+        except (ProtocolError, ComponentWireError) as exc:
+            self._counters["invalid"] += 1
+            return (*error_body(400, str(exc)), None)
+
+        jobs = [entry for entry in entries if isinstance(entry, dict)]
+        results: List = []
+        if jobs:
+            # One admission slot for the whole batch: the node's overload
+            # contract sheds *round trips*; the pool's priority queue owns
+            # the ordering of the batch's members against other work.
+            results, error = await self._execute_jobs(
+                jobs, units=1, collect_errors=True
+            )
+            if error is not None:
+                return error
+
+        job_results = iter(results)
+        solved = 0
+        cache_hits = 0
+        encoded: List[Dict] = []
+        for entry in entries:
+            if isinstance(entry, ComponentWireError):
+                encoded.append(component_error_entry(400, str(entry)))
+                continue
+            outcome = next(job_results)
+            if isinstance(outcome, BaseException):
+                encoded.append(self._component_failure_entry(outcome))
+                continue
+            solved += 1
+            if outcome.get("cache_hit"):
+                cache_hits += 1
+            encoded.append(outcome)
+        self._counters["served"] += 1
+        self._counters["component_batches"] += 1
+        self._counters["batched_components"] += len(entries)
+        self._counters["components"] += solved
+        self._counters["component_cache_hits"] += cache_hits
+        return 200, await loop.run_in_executor(
+            None, lambda: json_body({"results": encoded})
+        ), None
+
+    @staticmethod
+    def _component_failure_entry(exc: BaseException) -> Dict:
+        """Map one failed component job onto its per-entry error envelope."""
+        if isinstance(exc, (ProtocolError, ComponentWireError)):
+            return component_error_entry(400, str(exc))
+        if isinstance(exc, ReproError):
+            return component_error_entry(422, f"component solve failed: {exc}")
+        return component_error_entry(500, f"worker failure: {exc}")
 
     # ----------------------------------------------------- job control hooks
     async def _submit_jobs(self, loop, jobs: List[Dict], release_slot):
@@ -257,8 +387,9 @@ class DecompositionServer(BaseHttpServer):
             """
             submitted = []
             for job in jobs:
+                klass = job.pop("priority_class", "interactive")
                 try:
-                    future = self.pool.submit(job)
+                    future = self.pool.submit(job, klass=klass)
                 except Exception as exc:  # pool broken beyond repair
                     return submitted, exc
                 future.add_done_callback(release_slot)

@@ -1,0 +1,196 @@
+"""Coordinator micro-batching: request amplification, reroute accounting,
+and end-to-end Retry-After propagation.
+
+The tentpole acceptance bar: routing all of a layout's components through
+``POST /components`` micro-batches keeps the response byte-identical to a
+direct :class:`Decomposer` run (the equivalence suite now exercises the
+batched path throughout) while dropping node-request amplification from
+O(components) to O(owning nodes).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.factory import repeated_cell_layout, wire_row_layout
+from repro.bench.synthetic import SyntheticSpec, generate_layout
+from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
+from repro.core.decomposer import Decomposer
+from repro.service import ServerConfig, ServerThread, ServiceClient, ServiceError
+from repro.service.protocol import build_options, canonical_json, result_to_payload
+
+from cluster_harness import mini_cluster
+
+pytestmark = pytest.mark.cluster
+
+
+def _direct_payload(layout, name, algorithm="linear", colors=4):
+    layer = layout.layers()[0]
+    result = Decomposer(build_options(colors, algorithm)).decompose(layout, layer=layer)
+    return result_to_payload(name, layer, result)
+
+
+def _many_component_layout():
+    """A layout dividing into many distinct components (seed 11 ≈ dozens)."""
+    spec = SyntheticSpec(
+        name="synthetic-11",
+        rows=4,
+        tracks_per_row=4,
+        row_length=3000,
+        fill_rate=0.6,
+        cluster_rate=1.0,
+        seed=11,
+    )
+    return generate_layout(spec)
+
+
+class TestRequestAmplification:
+    def test_one_request_per_owning_node(self):
+        """A layout with many distinct components must cost at most one node
+        request per *owning node*, not one per component."""
+        layout = _many_component_layout()
+        expected = canonical_json(_direct_payload(layout, "synth"))
+        with mini_cluster(num_nodes=3) as cluster:
+            client = cluster.client()
+            before = client.stats()["coordinator"]
+            served = client.decompose(layout, name="synth", algorithm="linear")
+            assert canonical_json(served) == expected
+            after = client.stats()["coordinator"]
+            requests = after["node_requests"] - before["node_requests"]
+            routed = after["components_routed"] - before["components_routed"]
+            assert routed > 3, "layout too small to prove batching"
+            assert requests <= 3, (
+                f"{requests} node requests for {routed} components — "
+                "micro-batching is not amortising the round trips"
+            )
+
+    def test_cold_and_warm_batched_passes_match_direct(self):
+        layout = _many_component_layout()
+        expected = canonical_json(_direct_payload(layout, "synth"))
+        with mini_cluster(num_nodes=3) as cluster:
+            client = cluster.client()
+            cold = client.decompose(layout, name="synth", algorithm="linear")
+            warm = client.decompose(layout, name="synth", algorithm="linear")
+            assert canonical_json(cold) == expected
+            assert canonical_json(warm) == expected
+            stats = client.stats()["coordinator"]
+            # The warm pass hits the owner nodes' component caches.
+            assert stats["component_cache_hits"] > 0
+
+    def test_chunked_batches_still_match_direct(self):
+        """batch_max_components=2 forces multi-chunk fan-out per node."""
+        layout = _many_component_layout()
+        expected = canonical_json(_direct_payload(layout, "synth"))
+        with mini_cluster(
+            num_nodes=2, coordinator_config={"batch_max_components": 2}
+        ) as cluster:
+            client = cluster.client()
+            served = client.decompose(layout, name="synth", algorithm="linear")
+            assert canonical_json(served) == expected
+            stats = client.stats()["coordinator"]
+            # Chunking raises the request count above the node count but
+            # keeps it at ceil(components_per_node / 2) per node.
+            assert stats["node_requests"] > 2
+
+    def test_byte_budget_forces_chunking(self):
+        layout = _many_component_layout()
+        expected = canonical_json(_direct_payload(layout, "synth"))
+        with mini_cluster(
+            num_nodes=2, coordinator_config={"batch_max_bytes": 2048}
+        ) as cluster:
+            client = cluster.client()
+            served = client.decompose(layout, name="synth", algorithm="linear")
+            assert canonical_json(served) == expected
+
+
+class TestRerouteAccounting:
+    def test_reroute_counts_each_component_once(self):
+        """Killing the owner mid-workload re-routes its components without
+        double-counting solves: the solve counters grow by exactly the
+        number of distinct components, the failed attempt lands only in the
+        distinct reroutes counter."""
+        layout = repeated_cell_layout(copies=4)  # one distinct component
+        expected = canonical_json(_direct_payload(layout, "cells"))
+        with mini_cluster(num_nodes=3) as cluster:
+            client = cluster.client()
+            assert canonical_json(
+                client.decompose(layout, name="cells", algorithm="linear")
+            ) == expected
+
+            before = client.stats()["coordinator"]
+            loaded = [
+                node
+                for node, state in client.stats()["nodes"].items()
+                if state["routed"] > 0
+            ]
+            assert len(loaded) == 1
+            cluster.kill_node(cluster.node_ids.index(loaded[0]))
+
+            assert canonical_json(
+                client.decompose(layout, name="cells", algorithm="linear")
+            ) == expected
+            after = client.stats()["coordinator"]
+            # One distinct component: solved exactly once post-kill...
+            assert after["components_routed"] - before["components_routed"] == 1
+            # ...one failed attempt, counted only as a reroute...
+            assert after["reroutes"] - before["reroutes"] == 1
+            # ...two node round trips: the dead owner, then the new one.
+            assert after["node_requests"] - before["node_requests"] == 2
+
+
+class TestRetryAfterPropagation:
+    def test_node_retry_after_value_reaches_cluster_client(self):
+        """The node's own Retry-After hint (not a coordinator default) must
+        arrive, parsed, in the ServiceError the cluster client raises."""
+        gate = threading.Event()
+        release = threading.Event()
+
+        def hold_request():
+            gate.set()
+            release.wait(timeout=30)
+
+        node = ServerThread(
+            ServerConfig(
+                port=0,
+                workers=1,
+                force_inline_pool=True,
+                queue_limit=1,
+                retry_after_seconds=7,
+            ),
+            pre_dispatch_hook=hold_request,
+        )
+        layout = wire_row_layout(num_wires=3, wire_length=400)
+        try:
+            host, port = node.start()
+            node_client = ServiceClient(host, port)
+            node_client.wait_until_healthy()
+            occupier = threading.Thread(
+                target=lambda: node_client.decompose(
+                    layout, name="hold", algorithm="linear"
+                ),
+                daemon=True,
+            )
+            occupier.start()
+            assert gate.wait(timeout=10), "occupying request never reached the node"
+
+            coordinator = CoordinatorThread(
+                CoordinatorConfig(
+                    port=0, peers=[f"{host}:{port}"], probe_interval=60.0
+                )
+            )
+            try:
+                cluster_client = ClusterClient(*coordinator.start())
+                cluster_client.wait_until_healthy()
+                with pytest.raises(ServiceError) as excinfo:
+                    cluster_client.decompose(layout, name="w", algorithm="linear")
+                assert excinfo.value.status == 503
+                assert excinfo.value.retry_after == 7.0
+            finally:
+                release.set()
+                occupier.join(timeout=30)
+                coordinator.stop()
+        finally:
+            release.set()
+            node.stop()

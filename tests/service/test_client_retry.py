@@ -1,0 +1,138 @@
+"""Client-side backpressure handling: Retry-After parsing and pacing.
+
+The ``Retry-After`` header is a *hint* from an overloaded server — it can
+be delta-seconds, an HTTP-date, or (from misbehaving proxies) junk.  The
+client must never crash on it, and the health-wait loop must actually pace
+itself by it instead of hammering a fixed interval.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from datetime import datetime, timedelta, timezone
+from email.utils import format_datetime
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+from repro.service.client import parse_retry_after
+
+pytestmark = pytest.mark.service
+
+
+class TestParseRetryAfter:
+    def test_delta_seconds(self):
+        assert parse_retry_after("2") == 2.0
+        assert parse_retry_after("1.5") == 1.5
+        assert parse_retry_after("  3 ") == 3.0
+
+    def test_negative_delta_clamps_to_zero(self):
+        assert parse_retry_after("-5") == 0.0
+
+    def test_http_date_in_future(self):
+        target = datetime.now(timezone.utc) + timedelta(minutes=10)
+        seconds = parse_retry_after(format_datetime(target, usegmt=True))
+        assert seconds is not None
+        assert 9 * 60 <= seconds <= 11 * 60
+
+    def test_http_date_in_past_clamps_to_zero(self):
+        target = datetime.now(timezone.utc) - timedelta(hours=1)
+        assert parse_retry_after(format_datetime(target, usegmt=True)) == 0.0
+
+    def test_junk_falls_back_to_none(self):
+        assert parse_retry_after("soon") is None
+        assert parse_retry_after("") is None
+        assert parse_retry_after("   ") is None
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("nan") is None
+        assert parse_retry_after("inf") is None
+
+
+def _stub_503_server(retry_after_value):
+    """A stub HTTP server answering every GET with 503 + Retry-After."""
+
+    class Handler(BaseHTTPRequestHandler):
+        requests_seen = 0
+
+        def do_GET(self):
+            type(self).requests_seen += 1
+            body = b'{"error": {"status": 503, "message": "busy"}}'
+            self.send_response(503)
+            if retry_after_value is not None:
+                self.send_header("Retry-After", retry_after_value)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # keep test output quiet
+            pass
+
+    server = HTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, Handler
+
+
+class TestDefensiveRetryAfter:
+    def test_junk_retry_after_is_a_clean_503(self):
+        """An unparseable hint must degrade to retry_after=None, never raise
+        ValueError out of the client."""
+        server, _ = _stub_503_server("just a moment")
+        try:
+            client = ServiceClient(*server.server_address)
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after is None
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_http_date_retry_after_is_parsed(self):
+        target = datetime.now(timezone.utc) + timedelta(seconds=90)
+        server, _ = _stub_503_server(format_datetime(target, usegmt=True))
+        try:
+            client = ServiceClient(*server.server_address)
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after is not None
+            assert 80 <= excinfo.value.retry_after <= 95
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestWaitLoopHonorsHint:
+    def test_hint_paces_the_wait_loop_capped_by_deadline(self):
+        """With a 30s hint and a 1s deadline the loop must sleep once (the
+        hint, capped to the deadline) instead of polling every interval —
+        exactly one request reaches the server."""
+        server, handler = _stub_503_server("30")
+        try:
+            client = ServiceClient(*server.server_address)
+            start = time.monotonic()
+            with pytest.raises(ServiceError):
+                client.wait_until_healthy(timeout=1.0, interval=0.05)
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0, "Retry-After was not capped by the deadline"
+            assert handler.requests_seen == 1, (
+                "wait loop ignored the Retry-After hint and kept polling"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_fixed_interval_without_hint(self):
+        server, handler = _stub_503_server(None)
+        try:
+            client = ServiceClient(*server.server_address)
+            with pytest.raises(ServiceError):
+                client.wait_until_healthy(timeout=0.4, interval=0.1)
+            assert handler.requests_seen >= 2
+        finally:
+            server.shutdown()
+            server.server_close()

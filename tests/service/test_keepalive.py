@@ -108,6 +108,55 @@ class TestClientConnectionReuse:
         finally:
             second.stop()
 
+    def test_queue_full_503_does_not_poison_connection(self):
+        """A 503 (queue full) is a complete response: the pooled keep-alive
+        connection must stay usable for the very next request."""
+        import threading
+
+        from repro.service import ServiceError
+
+        gate = threading.Event()
+        config = ServerConfig(
+            port=0, workers=1, queue_limit=1, force_inline_pool=True
+        )
+        thread = ServerThread(config, pre_dispatch_hook=gate.wait)
+        layout = wire_row_layout(num_wires=3, wire_length=400)
+        try:
+            host, port = thread.start()
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            pooled = client._connections()[(host, port)]
+
+            # Occupy the only slot from a different thread (its own pooled
+            # connection), then overflow the queue on this thread's.
+            occupier = threading.Thread(
+                target=lambda: client.decompose(
+                    layout, name="hold", algorithm="linear"
+                ),
+                daemon=True,
+            )
+            occupier.start()
+            import time
+
+            deadline = time.monotonic() + 10
+            while client.healthz()["inflight"] == 0:
+                assert time.monotonic() < deadline, "request never admitted"
+                time.sleep(0.02)
+
+            with pytest.raises(ServiceError) as rejected:
+                client.decompose(layout, name="shed", algorithm="linear")
+            assert rejected.value.status == 503
+            # Same connection object, still pooled, still serving.
+            assert client._connections()[(host, port)] is pooled
+            assert client.healthz()["status"] == "ok"
+            assert client._connections()[(host, port)] is pooled
+
+            gate.set()
+            occupier.join(timeout=30)
+        finally:
+            gate.set()
+            thread.stop()
+
     def test_drain_with_idle_keepalive_connection_is_fast(self):
         """An idle persistent connection must not stall a graceful drain."""
         config = ServerConfig(port=0, workers=1, force_inline_pool=True)
