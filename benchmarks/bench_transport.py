@@ -1,0 +1,329 @@
+"""Benchmark: per-component cost of the serialization/hash/transport hot path.
+
+The zero-copy PR replaced three per-component serializers — the repr-string
+canonical hash, the nested-JSON component wire, and whole-object pickling
+into worker processes — with one flat-array form consumed by all three.
+This harness measures each leg on the Table 1 circuits and records the
+before/after ratios:
+
+* **hash**        — v1 repr-string SHA-256 (reimplemented baseline) vs the
+  v2 packed-array streaming hash (cold, memo invalidated per run) vs the
+  memoised re-hash (the steady-state cost inside one request);
+* **wire**        — JSON v1 roundtrip (encode dict → ``json.dumps`` →
+  ``json.loads`` → rebuild graph) vs binary v2 roundtrip (flatten →
+  frame bytes → decode → rebuild graph);
+* **dispatch**    — pickling the graph object there and back (the old
+  process-pool payload) vs writing the flat frame into a shared-memory
+  segment and reading+decoding it back (the new payload);
+* **serialize+hash** — the end-to-end per-component preparation cost the
+  coordinator pays before a component leaves the box: v1 hash + JSON encode
+  vs v2 hash + binary encode (sharing one flattening), the ratio the PR's
+  acceptance bar (≥ 2×) pins.
+
+Run standalone to (re)record ``benchmarks/artifacts/transport.json``::
+
+    python benchmarks/bench_transport.py           # full Table 1 suite
+    python benchmarks/bench_transport.py --quick   # CI smoke: 2 circuits
+
+Timings are best-of over repeated sweeps of *all* components of each
+circuit, divided by the component count — per-component microseconds, the
+unit that matters for the small-component-dominated distribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pickle
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.factory import circuit_graph
+from repro.core.options import AlgorithmOptions, DivisionOptions
+from repro.graph.components import connected_components
+from repro.graph.flat import FlatGraph
+from repro.runtime.component_io import graph_from_wire, graph_to_wire
+from repro.runtime.hashing import canonical_component_key, options_fingerprint
+from repro.runtime.shm_transport import (
+    SHM_MIN_FRAME_BYTES,
+    ShmSegment,
+    read_segment,
+    shared_memory_available,
+)
+from repro.runtime.wire_binary import decode_components_frame, encode_components_frame
+
+QUICK_CIRCUITS = ["C432", "C6288"]
+FULL_CIRCUITS = [
+    "C432", "C499", "C880", "C1355", "C1908", "C2670", "C3540",
+    "C5315", "C6288", "C7552", "S1488", "S38417", "S35932", "S38584",
+    "S15850",
+]
+ALGORITHM = "linear"
+NUM_COLORS = 4
+
+ARTIFACT_PATH = Path(__file__).parent / "artifacts" / "transport.json"
+
+
+def _v1_hash(graph) -> str:
+    """The retired v1 hashing scheme, verbatim — the baseline under test."""
+    order = graph.vertices()
+    rank = {vertex: index for index, vertex in enumerate(order)}
+
+    def relabel(edges):
+        out = []
+        for u, v in edges:
+            ru, rv = rank[u], rank[v]
+            out.append((ru, rv) if ru <= rv else (rv, ru))
+        out.sort()
+        return out
+
+    weights = tuple(graph.vertex_data(v).weight for v in order)
+    payload = "|".join(
+        [
+            "v1",
+            f"n={graph.num_vertices}",
+            f"K={NUM_COLORS}",
+            f"alg={ALGORITHM}",
+            options_fingerprint(AlgorithmOptions(), DivisionOptions()),
+            f"w={weights}",
+            f"ce={relabel(graph.conflict_edges())}",
+            f"se={relabel(graph.stitch_edges())}",
+            f"fe={relabel(graph.friend_edges())}",
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _invalidate(graph) -> None:
+    """Drop the memoised flat form + keys so a hash run is really cold."""
+    graph._flat = None
+    graph._key_memo = {}
+
+
+def _v2_hash_cold(graph) -> str:
+    _invalidate(graph)
+    return canonical_component_key(
+        graph, NUM_COLORS, ALGORITHM, AlgorithmOptions(), DivisionOptions()
+    )
+
+
+def _v2_hash_memoised(graph) -> str:
+    return canonical_component_key(
+        graph, NUM_COLORS, ALGORITHM, AlgorithmOptions(), DivisionOptions()
+    )
+
+
+def _json_roundtrip(graph):
+    return graph_from_wire(json.loads(json.dumps(graph_to_wire(graph))))
+
+
+def _binary_roundtrip(graph):
+    _invalidate(graph)
+    frame = graph.to_arrays().to_bytes()
+    flat, _ = FlatGraph.from_bytes(frame)
+    return flat.to_graph()
+
+
+def _pickle_dispatch(graph):
+    return pickle.loads(pickle.dumps(graph))
+
+
+# The dispatch legs never invalidate: by dispatch time the hashing leg has
+# already materialised (and memoised) the flat form — production never
+# flattens twice, so the benchmark must not either.
+def _shm_dispatch(graph):
+    segment = ShmSegment(graph.to_arrays().to_bytes())
+    try:
+        flat, _ = FlatGraph.from_bytes(read_segment(segment.descriptor()))
+        return flat.to_graph()
+    finally:
+        segment.unlink()
+
+
+def _inline_frame_dispatch(graph):
+    """The sub-threshold path: frame bytes through the pickle channel."""
+    frame = pickle.loads(pickle.dumps(graph.to_arrays().to_bytes()))
+    flat, _ = FlatGraph.from_bytes(frame)
+    return flat.to_graph()
+
+
+def _policy_dispatch(graph):
+    """What the scheduler/pool actually do: shm past the size threshold."""
+    if graph.to_arrays().frame_size() >= SHM_MIN_FRAME_BYTES:
+        return _shm_dispatch(graph)
+    return _inline_frame_dispatch(graph)
+
+
+def _serialize_hash_v1(graph):
+    """Per-component prep of a v1 coordinator: repr hash + JSON wire encode."""
+    _v1_hash(graph)
+    return json.dumps(graph_to_wire(graph))
+
+
+def _serialize_hash_v2(graph):
+    """Per-component prep of a v2 coordinator: one flattening feeds both."""
+    _invalidate(graph)
+    key = canonical_component_key(
+        graph, NUM_COLORS, ALGORITHM, AlgorithmOptions(), DivisionOptions()
+    )
+    return encode_components_frame([(key, graph.to_arrays())], NUM_COLORS, ALGORITHM)
+
+
+def _time_per_component(
+    func: Callable, components: List, repeats: int
+) -> float:
+    """Best sweep time over all components, per component, in seconds.
+
+    Best-of (not mean/median): scheduling noise only ever *adds* time, so
+    the minimum is the most reproducible estimator for micro-legs this
+    small — exactly what a before/after ratio needs.
+    """
+    sweeps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for graph in components:
+            func(graph)
+        sweeps.append(time.perf_counter() - start)
+    return min(sweeps) / len(components)
+
+
+def record_artifact(quick: bool = False, path: Path = ARTIFACT_PATH) -> dict:
+    circuits = QUICK_CIRCUITS if quick else FULL_CIRCUITS
+    repeats = 5 if quick else 9
+    shm_ok = shared_memory_available()
+    rows = []
+    for circuit in circuits:
+        graph = circuit_graph(circuit, NUM_COLORS).graph
+        components = [
+            graph.subgraph(component)
+            for component in connected_components(graph)
+        ]
+        legs: Dict[str, float] = {
+            "hash_v1_repr": _time_per_component(_v1_hash, components, repeats),
+            "hash_v2_cold": _time_per_component(_v2_hash_cold, components, repeats),
+            "hash_v2_memoised": _time_per_component(
+                _v2_hash_memoised, components, repeats
+            ),
+            "wire_json_roundtrip": _time_per_component(
+                _json_roundtrip, components, repeats
+            ),
+            "wire_binary_roundtrip": _time_per_component(
+                _binary_roundtrip, components, repeats
+            ),
+            "dispatch_pickle": _time_per_component(
+                _pickle_dispatch, components, repeats
+            ),
+            "dispatch_inline_frame": _time_per_component(
+                _inline_frame_dispatch, components, repeats
+            ),
+            "serialize_hash_v1": _time_per_component(
+                _serialize_hash_v1, components, repeats
+            ),
+            "serialize_hash_v2": _time_per_component(
+                _serialize_hash_v2, components, repeats
+            ),
+        }
+        if shm_ok:
+            legs["dispatch_shm"] = _time_per_component(
+                _shm_dispatch, components, repeats
+            )
+            legs["dispatch_policy"] = _time_per_component(
+                _policy_dispatch, components, repeats
+            )
+        row = {
+            "circuit": circuit,
+            "components": len(components),
+            "vertices": graph.num_vertices,
+            "per_component_us": {
+                name: round(seconds * 1e6, 3) for name, seconds in legs.items()
+            },
+            "speedups": {
+                "hash_v2_vs_v1": round(legs["hash_v1_repr"] / legs["hash_v2_cold"], 2),
+                "wire_binary_vs_json": round(
+                    legs["wire_json_roundtrip"] / legs["wire_binary_roundtrip"], 2
+                ),
+                "serialize_hash_v2_vs_v1": round(
+                    legs["serialize_hash_v1"] / legs["serialize_hash_v2"], 2
+                ),
+            },
+        }
+        row["speedups"]["inline_frame_vs_pickle"] = round(
+            legs["dispatch_pickle"] / legs["dispatch_inline_frame"], 2
+        )
+        if shm_ok:
+            row["speedups"]["shm_vs_pickle"] = round(
+                legs["dispatch_pickle"] / legs["dispatch_shm"], 2
+            )
+            row["speedups"]["dispatch_policy_vs_pickle"] = round(
+                legs["dispatch_pickle"] / legs["dispatch_policy"], 2
+            )
+        rows.append(row)
+    payload = {
+        "benchmark": "transport",
+        "algorithm": ALGORITHM,
+        "num_colors": NUM_COLORS,
+        "quick": quick,
+        "repeats": repeats,
+        "shared_memory_available": shm_ok,
+        "note": (
+            "per-component microseconds, best-of over repeated full-circuit "
+            "sweeps; hash_v2_cold re-flattens per call, hash_v2_memoised is "
+            "the steady-state re-hash inside one request"
+        ),
+        "circuits": rows,
+        "min_serialize_hash_speedup": min(
+            row["speedups"]["serialize_hash_v2_vs_v1"] for row in rows
+        ),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: two circuits, fewer repeats",
+    )
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=ARTIFACT_PATH,
+        help=f"artifact output path (default: {ARTIFACT_PATH})",
+    )
+    args = parser.parse_args(argv)
+    payload = record_artifact(quick=args.quick, path=args.artifact)
+    for row in payload["circuits"]:
+        times = row["per_component_us"]
+        speedups = row["speedups"]
+        print(
+            f"{row['circuit']:>7} ({row['components']:4d} components): "
+            f"hash {times['hash_v1_repr']:8.1f}us -> {times['hash_v2_cold']:7.1f}us "
+            f"({speedups['hash_v2_vs_v1']:5.2f}x)  "
+            f"wire {times['wire_json_roundtrip']:8.1f}us -> "
+            f"{times['wire_binary_roundtrip']:7.1f}us "
+            f"({speedups['wire_binary_vs_json']:5.2f}x)  "
+            f"ser+hash {speedups['serialize_hash_v2_vs_v1']:5.2f}x"
+            + (
+                f"  dispatch {speedups['dispatch_policy_vs_pickle']:5.2f}x"
+                if "dispatch_policy_vs_pickle" in speedups
+                else f"  dispatch {speedups['inline_frame_vs_pickle']:5.2f}x"
+            )
+        )
+    print(
+        f"minimum serialize+hash speedup across circuits: "
+        f"{payload['min_serialize_hash_speedup']}x"
+    )
+    print(f"artifact written to {args.artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,15 +65,17 @@ from repro.graph.components import connected_components
 from repro.graph.construction import build_decomposition_graph
 from repro.graph.decomposition_graph import DecompositionGraph
 from repro.cluster.membership import Membership, NoNodesAvailable
+from repro.graph.flat import FlatGraph
 from repro.runtime.component_io import (
     ComponentErrorEntry,
     ComponentSolve,
     ComponentWireError,
     components_request,
-    graph_to_wire,
     parse_components_response,
+    wire_dict_from_flat,
 )
 from repro.runtime.hashing import canonical_component_key
+from repro.runtime.wire_binary import encode_components_frame, frame_size
 from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import DEFAULT_MAX_BODY_BYTES, HttpRequest, error_body, json_body
@@ -92,20 +94,19 @@ from repro.service.protocol import (
 )
 
 
-def _estimate_wire_bytes(wire: Dict) -> int:
-    """Approximate one graph wire's JSON-encoded size without encoding it.
+def _estimate_json_wire_bytes(flat: FlatGraph) -> int:
+    """Approximate one component's JSON v1 body size from its flat form.
 
-    ``batch_max_bytes`` is documented as approximate, so a structural
-    estimate (per-vertex and per-edge constants) is enough — actually
-    serialising every component here would double the JSON encoding cost of
-    the exact hot path micro-batching exists to cheapen.
+    Budgets chunks for peers that receive (or may yet receive) the JSON
+    fallback — ``batch_max_bytes`` is documented as approximate, so a
+    structural estimate (per-vertex and per-edge constants) is enough, and
+    it deliberately over-estimates relative to the binary frame so a
+    mid-request downgrade can never push a re-encoded chunk past the caps.
     """
-    vertices = wire.get("vertices", ())
-    edges = sum(
-        len(wire.get(kind, ()))
-        for kind in ("conflict_edges", "stitch_edges", "friend_edges")
-    )
-    return 64 + 28 * len(vertices) + 12 * edges
+    edges = (
+        len(flat.conflict_edges) + len(flat.stitch_edges) + len(flat.friend_edges)
+    ) // 2
+    return 64 + 28 * flat.num_vertices + 12 * edges
 
 
 class NodeBusyError(ReproError):
@@ -212,6 +213,7 @@ class ClusterCoordinator(BaseHttpServer):
             probe_timeout=config.probe_timeout,
             failure_threshold=config.failure_threshold,
             virtual_nodes=config.virtual_nodes,
+            on_transition=self._on_node_transition,
         )
         self._clients = {
             node.node_id: ServiceClient(
@@ -225,11 +227,20 @@ class ClusterCoordinator(BaseHttpServer):
                 "component_cache_hits": 0,
                 "reroutes": 0,
                 "node_requests": 0,
+                "wire_downgrades": 0,
             }
         )
         self._routed: Dict[str, int] = {
             node_id: 0 for node_id in sorted(self._clients)
         }
+        #: Peers that rejected the binary v2 components frame (pre-v2 nodes):
+        #: every later batch to them is sent in the JSON v1 schema directly.
+        self._json_only_nodes: set = set()
+        #: Peers that have answered a binary frame successfully.  Chunk byte
+        #: budgets use the exact binary size only for these; unconfirmed and
+        #: JSON-only peers are budgeted by the (larger) JSON estimate, so a
+        #: downgrade mid-request can never inflate a chunk past the caps.
+        self._binary_nodes: set = set()
         #: Guards the counters mutated from fan-out threads.
         self._counter_lock = threading.Lock()
         self._jobs_executor: Optional[ThreadPoolExecutor] = None
@@ -441,13 +452,15 @@ class ClusterCoordinator(BaseHttpServer):
             subgraphs[index] = subgraph
             groups.setdefault(key, []).append(index)
 
-        # One wire per distinct component, serialised once — reused across
-        # chunks and re-routes.  Ordered by first appearance so chunking
-        # (and therefore request traffic) is deterministic.
+        # One flat-array form per distinct component, flattened once (the
+        # same memoised snapshot the canonical key above was streamed from)
+        # — reused across chunks, re-routes and the JSON fallback.  Ordered
+        # by first appearance so chunking (and therefore request traffic)
+        # is deterministic.
         ordered_keys = sorted(groups, key=lambda key: groups[key][0])
-        wires = {key: graph_to_wire(subgraphs[groups[key][0]]) for key in ordered_keys}
+        flats = {key: subgraphs[groups[key][0]].to_arrays() for key in ordered_keys}
         solves = self._solve_components(
-            ordered_keys, wires, options.num_colors, options.algorithm
+            ordered_keys, flats, options.num_colors, options.algorithm
         )
 
         coloring: Dict[int, int] = {}
@@ -462,7 +475,7 @@ class ClusterCoordinator(BaseHttpServer):
     def _solve_components(
         self,
         ordered_keys: List[str],
-        wires: Dict[str, Dict],
+        flats: Dict[str, FlatGraph],
         colors: int,
         algorithm: str,
     ) -> Dict[str, ComponentSolve]:
@@ -474,7 +487,16 @@ class ClusterCoordinator(BaseHttpServer):
         rebalanced ring while every already-returned solve is kept.
         """
         limit = self.config.max_reroutes or max(1, len(self.membership))
-        sizes = {key: _estimate_wire_bytes(wire) for key, wire in wires.items()}
+        binary_sizes = {key: frame_size(flat, key) for key, flat in flats.items()}
+        # Unconfirmed peers may be sent either encoding (binary first, JSON
+        # after a downgrade), so their budget must dominate both: the JSON
+        # estimate wins for anything non-trivial, the exact binary size for
+        # single-digit-vertex components where the fixed frame overhead
+        # exceeds the JSON text.
+        conservative_sizes = {
+            key: max(_estimate_json_wire_bytes(flat), binary_sizes[key])
+            for key, flat in flats.items()
+        }
         solves: Dict[str, ComponentSolve] = {}
         attempts: Dict[str, int] = {key: 0 for key in ordered_keys}
         pending = list(ordered_keys)
@@ -484,13 +506,18 @@ class ClusterCoordinator(BaseHttpServer):
                 owner = self.membership.owner(key)  # raises NoNodesAvailable
                 assignment.setdefault(owner, []).append(key)
             tasks: List[Tuple[str, List[str]]] = []
+            with self._counter_lock:
+                confirmed_binary = set(self._binary_nodes - self._json_only_nodes)
             for node_id in sorted(assignment):
-                for chunk in self._chunk_keys(assignment[node_id], sizes):
+                node_sizes = (
+                    binary_sizes if node_id in confirmed_binary else conservative_sizes
+                )
+                for chunk in self._chunk_keys(assignment[node_id], node_sizes):
                     tasks.append((node_id, chunk))
             assert self._fanout_executor is not None
             futures = [
                 self._fanout_executor.submit(
-                    self._send_batch, node_id, chunk, wires, colors, algorithm
+                    self._send_batch, node_id, chunk, flats, colors, algorithm
                 )
                 for node_id, chunk in tasks
             ]
@@ -557,21 +584,116 @@ class ClusterCoordinator(BaseHttpServer):
             chunks.append(chunk)
         return chunks
 
+    def _post_components(
+        self,
+        client: ServiceClient,
+        node_id: str,
+        chunk: List[str],
+        flats: Dict[str, FlatGraph],
+        colors: int,
+        algorithm: str,
+    ) -> Dict:
+        """POST one chunk, binary-first with a sticky JSON downgrade.
+
+        New peers get the packed v2 frame (each component's canonical key
+        rides along, so the node never re-hashes).  A peer that answers a
+        binary request with 400/415 is a pre-v2 node trying to read the
+        frame as JSON: it is remembered as JSON-only for its lifetime and
+        the chunk is re-sent in the v1 schema — one wasted round trip per
+        old node, ever, and mixed-version clusters stay correct.
+        """
+        with self._counter_lock:
+            binary_first = node_id not in self._json_only_nodes
+            if binary_first:
+                self._counters["node_requests"] += 1
+        if binary_first:
+            frame = encode_components_frame(
+                [(key, flats[key]) for key in chunk], colors, algorithm
+            )
+            try:
+                response = client.components_binary(frame)
+            except ServiceError as exc:
+                if not self._peer_rejected_binary(exc):
+                    raise
+                with self._counter_lock:
+                    # Concurrent chunks to one node can all have their
+                    # binary attempt in flight when the first rejection
+                    # lands: the downgrade itself is idempotent, and the
+                    # counter must be too (one downgrade per node).
+                    if node_id not in self._json_only_nodes:
+                        self._json_only_nodes.add(node_id)
+                        self._counters["wire_downgrades"] += 1
+                    self._binary_nodes.discard(node_id)
+            else:
+                with self._counter_lock:
+                    self._binary_nodes.add(node_id)
+                return response
+        # The chunk may have been budgeted with exact binary sizes (a peer
+        # that was binary last request and is not any more): re-chunk it by
+        # the JSON estimate so the re-encoded bodies still respect the byte
+        # caps, and merge the per-piece results back into one response.
+        json_sizes = {key: _estimate_json_wire_bytes(flats[key]) for key in chunk}
+        results: List[Dict] = []
+        for piece in self._chunk_keys(chunk, json_sizes):
+            payload = components_request(
+                [wire_dict_from_flat(flats[key]) for key in piece],
+                colors,
+                algorithm,
+                keys=list(piece),
+            )
+            with self._counter_lock:
+                self._counters["node_requests"] += 1
+            response = client.components(payload)
+            piece_results = response.get("results")
+            if not isinstance(piece_results, list):
+                raise ComponentWireError(
+                    f"node {node_id} answered a components batch without 'results'"
+                )
+            results.extend(piece_results)
+        return {"results": results}
+
+    def _on_node_transition(self, node_id: str, alive: bool) -> None:
+        """Reset a node's wire negotiation on any liveness transition.
+
+        Fired by membership for probe-detected death, failback, and
+        observed hard failures alike: whatever answers at this address
+        after a transition may be a different build (a rolled-back pre-v2
+        node, or an upgraded v2 one), so both the sticky JSON downgrade
+        and the binary-confirmed budgeting state must renegotiate.
+        """
+        with self._counter_lock:
+            self._binary_nodes.discard(node_id)
+            self._json_only_nodes.discard(node_id)
+
+    @staticmethod
+    def _peer_rejected_binary(exc: ServiceError) -> bool:
+        """Did this error mean "the peer cannot read the binary frame"?
+
+        A pre-v2 node (and a ``binary_wire=False`` one) pushes the frame
+        through its JSON parser and answers 400 "not valid JSON"; an
+        explicit 415 means the same.  Any *other* 400 — unknown algorithm,
+        frame validation on a fully binary-capable node — must propagate:
+        downgrading on it would be sticky-wrong (the JSON retry fails
+        identically) and would mislabel a v2 peer as pre-v2 forever.
+        """
+        if exc.status == 415:
+            return True
+        return exc.status == 400 and "not valid JSON" in str(exc)
+
     def _send_batch(
         self,
         node_id: str,
         chunk: List[str],
-        wires: Dict[str, Dict],
+        flats: Dict[str, FlatGraph],
         colors: int,
         algorithm: str,
     ) -> List[object]:
         """Ship one micro-batch to one node; runs on a fan-out thread."""
-        payload = components_request([wires[key] for key in chunk], colors, algorithm)
-        with self._counter_lock:
-            self._counters["node_requests"] += 1
         client = self._clients[node_id]
         try:
-            response = client.components(payload)
+            response = self._post_components(
+                client, node_id, chunk, flats, colors, algorithm
+            )
         except ServiceError as exc:
             if exc.status == 503:
                 raise NodeBusyError(node_id, exc.retry_after) from exc
@@ -587,7 +709,9 @@ class ClusterCoordinator(BaseHttpServer):
             if exc.status == 0:
                 # Hard connection failure: the node is gone.  Shrink the
                 # ring now; the routing loop re-routes this chunk to the
-                # new owners of its key ranges.
+                # new owners of its key ranges.  (The liveness transition
+                # also resets the node's wire-negotiation state, via the
+                # membership on_transition hook.)
                 self.membership.mark_dead(node_id, str(exc))
                 raise _NodeConnectionLost(node_id) from exc
             raise NodeRequestError(node_id, exc.status, str(exc)) from exc
@@ -690,6 +814,12 @@ def coordinator_metrics_text(stats: Dict) -> str:
             "HTTP requests sent to nodes (micro-batched: one per owning "
             "node per layout when batches fit the caps).",
             [({}, coordinator.get("node_requests", 0))],
+        ),
+        counter_family(
+            "repro_coordinator_wire_downgrades_total",
+            "Peers downgraded to the JSON v1 component schema after "
+            "rejecting the binary v2 frame (one per pre-v2 node).",
+            [({}, coordinator.get("wire_downgrades", 0))],
         ),
         counter_family(
             "repro_coordinator_rebalances_total",

@@ -81,7 +81,14 @@ class Membership:
         probe_timeout: float = 2.0,
         failure_threshold: int = 2,
         virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        on_transition=None,
     ) -> None:
+        #: Optional ``callback(node_id, alive)`` fired after every liveness
+        #: transition (probe-detected death, failback, observed hard
+        #: failure), outside the membership lock.  The coordinator uses it
+        #: to reset per-node wire-negotiation state: whatever answers at a
+        #: reappearing address may be a different build.
+        self._on_transition = on_transition
         if not peers:
             raise ConfigurationError("a cluster needs at least one peer node")
         if failure_threshold < 1:
@@ -151,6 +158,7 @@ class Membership:
 
     # ------------------------------------------------------------- liveness
     def _record_probe(self, node_id: str, success: bool, error: Optional[str]) -> None:
+        transitioned: Optional[bool] = None
         with self._lock:
             node = self._nodes[node_id]
             node.probes += 1
@@ -160,12 +168,16 @@ class Membership:
                 if not node.alive:
                     node.alive = True
                     self._rebuild_ring_locked()
+                    transitioned = True
             else:
                 node.consecutive_failures += 1
                 node.last_error = error
                 if node.alive and node.consecutive_failures >= self.failure_threshold:
                     node.alive = False
                     self._rebuild_ring_locked()
+                    transitioned = False
+        if transitioned is not None:
+            self._fire_transition(node_id, transitioned)
 
     def mark_dead(self, node_id: str, error: Optional[str] = None) -> bool:
         """Immediately remove ``node_id`` from the ring (observed hard failure).
@@ -182,7 +194,16 @@ class Membership:
             )
             node.last_error = error
             self._rebuild_ring_locked()
-            return True
+        self._fire_transition(node_id, False)
+        return True
+
+    def _fire_transition(self, node_id: str, alive: bool) -> None:
+        if self._on_transition is None:
+            return
+        try:
+            self._on_transition(node_id, alive)
+        except Exception:  # pragma: no cover - observer must never break liveness
+            pass
 
     def _rebuild_ring_locked(self) -> None:
         self._ring = HashRing(

@@ -1,6 +1,13 @@
 """Decomposition graphs and the graph algorithms the decomposer relies on."""
 
 from repro.graph.decomposition_graph import DecompositionGraph, VertexData
+from repro.graph.flat import (
+    FLAT_FRAME_VERSION,
+    FlatFrameError,
+    FlatGraph,
+    flatten_graph,
+    graph_from_frame,
+)
 from repro.graph.construction import (
     ConstructionOptions,
     ConstructionResult,
@@ -32,6 +39,11 @@ from repro.graph.unionfind import UnionFind
 __all__ = [
     "DecompositionGraph",
     "VertexData",
+    "FLAT_FRAME_VERSION",
+    "FlatFrameError",
+    "FlatGraph",
+    "flatten_graph",
+    "graph_from_frame",
     "ConstructionOptions",
     "ConstructionResult",
     "build_decomposition_graph",

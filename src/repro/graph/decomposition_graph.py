@@ -63,6 +63,29 @@ class DecompositionGraph:
         self._conflict_edges: Set[Tuple[int, int]] = set()
         self._stitch_edges: Set[Tuple[int, int]] = set()
         self._friend_edges: Set[Tuple[int, int]] = set()
+        #: Memoised derived forms, dropped on any structural mutation: the
+        #: flat-array snapshot and the canonical component keys computed from
+        #: it (:mod:`repro.runtime.hashing` keys them by solve configuration).
+        self._flat = None
+        self._key_memo: Dict[object, str] = {}
+
+    def _invalidate(self) -> None:
+        """Drop memoised derived state; called by every structural mutator."""
+        if self._flat is not None or self._key_memo:
+            self._flat = None
+            self._key_memo = {}
+
+    def __getstate__(self):
+        """Pickle without the memoised derived forms.
+
+        The flat snapshot and key memo are cheap to rebuild and would only
+        inflate the pickle-fallback worker payloads that exist for
+        environments where the shared-memory transport is unavailable.
+        """
+        state = dict(self.__dict__)
+        state["_flat"] = None
+        state["_key_memo"] = {}
+        return state
 
     # --------------------------------------------------------------- vertices
     def add_vertex(self, vertex: int, data: Optional[VertexData] = None) -> None:
@@ -72,7 +95,9 @@ class DecompositionGraph:
         if vertex in self._vertices:
             if data is not None:
                 self._vertices[vertex] = data
+                self._invalidate()
             return
+        self._invalidate()
         self._vertices[vertex] = data or VertexData()
         self._conflict_adj[vertex] = set()
         self._stitch_adj[vertex] = set()
@@ -92,6 +117,7 @@ class DecompositionGraph:
         del self._conflict_adj[vertex]
         del self._stitch_adj[vertex]
         del self._friend_adj[vertex]
+        self._invalidate()
 
     def has_vertex(self, vertex: int) -> bool:
         """Return True if ``vertex`` is in the graph."""
@@ -117,6 +143,7 @@ class DecompositionGraph:
         self._conflict_adj[u].add(v)
         self._conflict_adj[v].add(u)
         self._conflict_edges.add(_edge_key(u, v))
+        self._invalidate()
 
     def add_stitch_edge(self, u: int, v: int) -> None:
         """Add a stitch edge between distinct existing vertices."""
@@ -124,6 +151,7 @@ class DecompositionGraph:
         self._stitch_adj[u].add(v)
         self._stitch_adj[v].add(u)
         self._stitch_edges.add(_edge_key(u, v))
+        self._invalidate()
 
     def add_friend_edge(self, u: int, v: int) -> None:
         """Add a color-friendly edge between distinct existing vertices."""
@@ -131,6 +159,7 @@ class DecompositionGraph:
         self._friend_adj[u].add(v)
         self._friend_adj[v].add(u)
         self._friend_edges.add(_edge_key(u, v))
+        self._invalidate()
 
     def remove_conflict_edge(self, u: int, v: int) -> None:
         """Remove the conflict edge ``{u, v}`` (must exist)."""
@@ -140,6 +169,7 @@ class DecompositionGraph:
         self._conflict_edges.remove(key)
         self._conflict_adj[u].discard(v)
         self._conflict_adj[v].discard(u)
+        self._invalidate()
 
     def remove_stitch_edge(self, u: int, v: int) -> None:
         """Remove the stitch edge ``{u, v}`` (must exist)."""
@@ -149,6 +179,7 @@ class DecompositionGraph:
         self._stitch_edges.remove(key)
         self._stitch_adj[u].discard(v)
         self._stitch_adj[v].discard(u)
+        self._invalidate()
 
     def has_conflict_edge(self, u: int, v: int) -> bool:
         return _edge_key(u, v) in self._conflict_edges
@@ -178,6 +209,10 @@ class DecompositionGraph:
     @property
     def num_stitch_edges(self) -> int:
         return len(self._stitch_edges)
+
+    @property
+    def num_friend_edges(self) -> int:
+        return len(self._friend_edges)
 
     # ------------------------------------------------------------- adjacency
     def conflict_neighbors(self, vertex: int) -> Set[int]:
@@ -209,6 +244,27 @@ class DecompositionGraph:
         """Number of stitch edges incident to ``vertex`` (d_stit in the paper)."""
         self._require(vertex)
         return len(self._stitch_adj[vertex])
+
+    # -------------------------------------------------------------- flat form
+    def to_arrays(self):
+        """Return the graph's canonical flat-array form (:class:`FlatGraph`).
+
+        The snapshot is memoised and reused until the next structural
+        mutation, so the hashing, wire and shared-memory layers each pulling
+        the flat form pay for one flattening, not three.  Callers must treat
+        the returned object as immutable.
+        """
+        if self._flat is None:
+            from repro.graph.flat import flatten_graph
+
+            self._flat = flatten_graph(self)
+        return self._flat
+
+    @staticmethod
+    def from_arrays(flat) -> "DecompositionGraph":
+        """Rebuild a graph from its flat-array form, bit-identical to the
+        original (vertex ids, per-vertex data and all three edge sets)."""
+        return flat.to_graph()
 
     # --------------------------------------------------------------- builders
     def copy(self) -> "DecompositionGraph":

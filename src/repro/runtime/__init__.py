@@ -13,7 +13,12 @@ this package turns that structural fact into throughput:
   :func:`schedule_and_color`, process-pool execution with largest-first
   ordering, deterministic merge and graceful serial fallback;
 * :mod:`repro.runtime.batch` — :func:`decompose_many`, the multi-layout API
-  behind the ``repro-decompose batch`` subcommand.
+  behind the ``repro-decompose batch`` subcommand;
+* :mod:`repro.runtime.wire_binary` — the binary v2 ``POST /components``
+  frame over the flat-array graph form of :mod:`repro.graph.flat`;
+* :mod:`repro.runtime.shm_transport` — shared-memory shipping of flat
+  graph frames to worker processes (creator-unlinks lifecycle, automatic
+  inline fallback).
 
 Every path through this package preserves the exact masks, conflict counts
 and stitch counts of the serial pipeline.
@@ -37,6 +42,16 @@ from repro.runtime.scheduler import (
     schedule_and_color,
 )
 from repro.runtime.batch import BatchItem, BatchResult, decompose_many
+from repro.runtime.shm_transport import (
+    SHM_MIN_FRAME_BYTES,
+    ShmSegment,
+    shared_memory_available,
+)
+from repro.runtime.wire_binary import (
+    COMPONENTS_V2_CONTENT_TYPE,
+    decode_components_frame,
+    encode_components_frame,
+)
 
 __all__ = [
     "CacheBackend",
@@ -56,4 +71,10 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "decompose_many",
+    "SHM_MIN_FRAME_BYTES",
+    "ShmSegment",
+    "shared_memory_available",
+    "COMPONENTS_V2_CONTENT_TYPE",
+    "decode_components_frame",
+    "encode_components_frame",
 ]

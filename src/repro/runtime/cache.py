@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol
+from typing import Dict, Optional, Protocol, Tuple
 
 from repro.core.division import DivisionReport
 from repro.core.options import AlgorithmOptions, DivisionOptions
@@ -49,11 +49,36 @@ class ComponentRecord:
 
     ``coloring`` is expressed over canonical ranks inside the cache and over
     real vertex ids in the records returned by :meth:`ComponentCache.lookup`.
+    ``shape`` fingerprints the solved graph's structure (vertex count and
+    the three edge counts); lookups reject records whose shape does not
+    match the queried graph, so a key arriving from an untrusted component
+    request can never replay some *other* component's coloring as a hit.
     """
 
     coloring: Dict[int, int]
     report: DivisionReport = field(default_factory=DivisionReport)
     solver_timeouts: int = 0
+    shape: Optional[Tuple[int, int, int, int]] = None
+
+
+def graph_shape(graph: DecompositionGraph) -> Tuple[int, int, int, int]:
+    """The structural fingerprint stored in (and checked against) records."""
+    return (
+        graph.num_vertices,
+        graph.num_conflict_edges,
+        graph.num_stitch_edges,
+        graph.num_friend_edges,
+    )
+
+
+def _shape_matches(record: ComponentRecord, expected) -> bool:
+    """Shared backend-side guard; shape-less legacy records fall back to the
+    coloring-size check so a replay can never KeyError."""
+    if expected is None:
+        return True
+    if record.shape is not None:
+        return record.shape == expected
+    return len(record.coloring) == expected[0]
 
 
 @dataclass
@@ -102,9 +127,17 @@ class CacheBackend(Protocol):
     account for them.  Backends own their persistence/concurrency story;
     the frontend never assumes entries survive between calls (a concurrent
     process may have evicted them).
+
+    ``get`` takes the caller's expected structural shape (``None`` = don't
+    check): a record under the right key but the wrong shape is a *miss* —
+    returned as ``None``, counted as a miss by backends with persistent
+    counters, and not refreshed in LRU order — so an untrusted key can
+    neither smuggle a mismatched coloring out nor distort the accounting.
     """
 
-    def get(self, key: str) -> Optional[ComponentRecord]: ...
+    def get(
+        self, key: str, expected_shape: Optional[Tuple[int, int, int, int]] = None
+    ) -> Optional[ComponentRecord]: ...
 
     def put(self, key: str, record: ComponentRecord) -> int: ...
 
@@ -134,10 +167,13 @@ class InMemoryBackend:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: str) -> Optional[ComponentRecord]:
+    def get(
+        self, key: str, expected_shape: Optional[Tuple[int, int, int, int]] = None
+    ) -> Optional[ComponentRecord]:
         record = self._entries.get(key)
-        if record is not None:
-            self._entries.move_to_end(key)
+        if record is None or not _shape_matches(record, expected_shape):
+            return None
+        self._entries.move_to_end(key)
         return record
 
     def put(self, key: str, record: ComponentRecord) -> int:
@@ -210,8 +246,18 @@ class ComponentCache:
         """Return the cached solution replayed onto ``graph``'s vertex ids.
 
         Records a hit or miss in :attr:`stats`; returns ``None`` on a miss.
+        A record whose stored shape (or, for shape-less records, coloring
+        size) does not match ``graph``'s is a miss, never a crash: keys may
+        arrive from untrusted component requests (a node trusts the
+        coordinator's routing hash), and the shape guard keeps a mismatched
+        key from replaying a structurally different component's coloring.
+        The guard is structural, not cryptographic — a forged key naming a
+        *same-shape* different component yields a wrong answer to the
+        forging caller only; stores always re-key locally, so the cache
+        itself can never be poisoned (see
+        :func:`repro.runtime.component_io.solve_component_job`).
         """
-        record = self.backend.get(key)
+        record = self.backend.get(key, graph_shape(graph))
         if record is None:
             self.stats.misses += 1
             return None
@@ -237,6 +283,7 @@ class ComponentCache:
             coloring={rank: coloring[vertex] for rank, vertex in enumerate(order)},
             report=report.component_delta() if report is not None else DivisionReport(),
             solver_timeouts=solver_timeouts,
+            shape=graph_shape(graph),
         )
         self.stats.evictions += self.backend.put(key, record)
 

@@ -135,6 +135,57 @@ def graph_to_wire(graph: DecompositionGraph) -> Dict:
     }
 
 
+def wire_dict_from_flat(flat) -> Dict:
+    """Build the JSON v1 wire dict straight from a flat-array graph.
+
+    The JSON fallback path of a binary-first coordinator: when a peer node
+    only speaks the v1 schema, the already-flattened component is re-encoded
+    without rebuilding a :class:`DecompositionGraph` first.  Output is
+    byte-identical to ``graph_to_wire(flat.to_graph())`` — the flat form's
+    rank order *is* sorted-id order and its edge lists are sorted rank
+    pairs, which map monotonically back to sorted id pairs.
+    """
+    ids = flat.vertex_ids
+    vertices = [
+        [
+            ids[rank],
+            None if flat.shape_ids[rank] == -1 else flat.shape_ids[rank],
+            flat.fragments[rank],
+            flat.weights[rank],
+        ]
+        for rank in range(len(ids))
+    ]
+
+    def edges_to_wire(edges) -> List[List[int]]:
+        return [
+            [ids[edges[i]], ids[edges[i + 1]]] for i in range(0, len(edges), 2)
+        ]
+
+    return {
+        "version": GRAPH_WIRE_VERSION,
+        "vertices": vertices,
+        "conflict_edges": edges_to_wire(flat.conflict_edges),
+        "stitch_edges": edges_to_wire(flat.stitch_edges),
+        "friend_edges": edges_to_wire(flat.friend_edges),
+    }
+
+
+#: Value bounds of the flat-array form: ids/shape ids must fit int64, counts
+#: must fit uint32.  Enforced at the wire boundary so an out-of-range value
+#: is a 400 at decode time, never an OverflowError deep inside ``to_arrays``
+#: (and so a wire ``shape_id`` can never collide with the flat form's ``-1``
+#: none-sentinel).
+_MAX_ID = 2**63 - 1
+_MAX_COUNT = 2**32 - 1
+
+
+def _checked(value, low: int, high: int, what: str) -> int:
+    number = int(value)
+    if not low <= number <= high:
+        raise ComponentWireError(f"{what} {number} outside [{low}, {high}]")
+    return number
+
+
 def graph_from_wire(payload: Dict) -> DecompositionGraph:
     """Rebuild a :class:`DecompositionGraph` from its wire dict."""
     if not isinstance(payload, dict):
@@ -149,8 +200,16 @@ def graph_from_wire(payload: Dict) -> DecompositionGraph:
     try:
         for vertex, shape_id, fragment, weight in payload["vertices"]:
             graph.add_vertex(
-                int(vertex),
-                VertexData(shape_id=shape_id, fragment=int(fragment), weight=int(weight)),
+                _checked(vertex, 0, _MAX_ID, "vertex id"),
+                VertexData(
+                    shape_id=(
+                        None
+                        if shape_id is None
+                        else _checked(shape_id, 0, _MAX_ID, "shape_id")
+                    ),
+                    fragment=_checked(fragment, 0, _MAX_COUNT, "fragment"),
+                    weight=_checked(weight, 0, _MAX_COUNT, "weight"),
+                ),
             )
         for u, v in payload.get("conflict_edges", ()):
             graph.add_conflict_edge(int(u), int(v))
@@ -210,18 +269,27 @@ def validate_component_request(payload: Dict) -> None:
 
 
 # -------------------------------------------------------------- micro-batch
-def components_request(graphs: List[Dict], colors: int, algorithm: str) -> Dict:
+def components_request(
+    graphs: List[Dict],
+    colors: int,
+    algorithm: str,
+    keys: Optional[List[Optional[str]]] = None,
+) -> Dict:
     """Build one ``POST /components`` request from pre-serialised graph wires.
 
     ``graphs`` are :func:`graph_to_wire` dicts — the coordinator serialises
     each distinct component once and reuses the wire across re-routes, so
-    this function only wraps them in the batch envelope.
+    this function only wraps them in the batch envelope.  ``keys`` optionally
+    attaches each component's canonical cache key so a v2 node skips
+    re-hashing (pre-v2 nodes ignore the extra field).
     """
-    return {
-        "components": [{"graph": wire} for wire in graphs],
-        "colors": colors,
-        "algorithm": algorithm,
-    }
+    entries: List[Dict] = []
+    for position, wire in enumerate(graphs):
+        entry: Dict = {"graph": wire}
+        if keys is not None and keys[position]:
+            entry["key"] = keys[position]
+        entries.append(entry)
+    return {"components": entries, "colors": colors, "algorithm": algorithm}
 
 
 class ComponentErrorEntry:
@@ -347,6 +415,31 @@ def parse_component_response(payload: Dict) -> ComponentSolve:
 
 
 # --------------------------------------------------------------- node worker
+def job_graph(job: Dict) -> DecompositionGraph:
+    """Materialise the job's component graph from whichever transport it used.
+
+    A component job carries exactly one of: ``graph`` (the JSON v1 wire
+    dict), ``graph_frame`` (packed flat-graph frame bytes, the binary wire
+    and the pickle fallback), or ``graph_shm`` (a shared-memory descriptor
+    from :mod:`repro.runtime.shm_transport`, the zero-copy process-pool
+    path).
+    """
+    from repro.graph.flat import FlatFrameError, graph_from_frame
+
+    descriptor = job.get("graph_shm")
+    frame = job.get("graph_frame")
+    if descriptor is not None:
+        from repro.runtime.shm_transport import read_segment
+
+        frame = read_segment(descriptor)
+    if frame is not None:
+        try:
+            return graph_from_frame(frame)
+        except FlatFrameError as exc:
+            raise ComponentWireError(f"invalid 'graph_frame' payload: {exc}") from exc
+    return graph_from_wire(job["graph"])
+
+
 def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
     """Execute one component job inside a node worker.
 
@@ -355,15 +448,36 @@ def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
     previous request stored), solves on a miss via the exact
     :func:`~repro.core.division.color_component` path the serial pipeline
     uses, and encodes the response in canonical rank space.
+
+    A ``key`` shipped with the job (the coordinator's routing hash) is used
+    for the cache *lookup* — hashing schemes are versioned together, so a
+    v2 peer's key is exactly what this worker would recompute, and the hit
+    path (the affinity payoff) skips hashing entirely.  Cache *stores*
+    always use a locally computed key: the request boundary is untrusted,
+    and storing a solution under a caller-controlled key would let one bad
+    request durably poison the shared cache for every later one.  The
+    defensive re-hash only happens on the miss path, where the solve it
+    precedes dwarfs it.
     """
-    graph = graph_from_wire(job["graph"])
+    graph = job_graph(job)
     colors = job.get("colors", 4)
     algorithm = job.get("algorithm", "sdp-backtrack")
     options = options_for(colors, algorithm)
-    key = canonical_component_key(
-        graph, colors, algorithm, options.algorithm_options, options.division
-    )
+
+    def local_key() -> str:
+        return canonical_component_key(
+            graph, colors, algorithm, options.algorithm_options, options.division
+        )
+
+    key = job.get("key") or local_key()
     record = cache.lookup(key, graph) if cache is not None else None
+    if record is None and cache is not None and job.get("key"):
+        # The shipped key missed (cold cache — or a key that does not match
+        # this graph).  Fall back to the authoritative local key before
+        # paying for a solve; from here on `key` is trusted.
+        key = local_key()
+        if key != job["key"]:
+            record = cache.lookup(key, graph)
     cache_hit = record is not None
     if record is not None:
         coloring = record.coloring

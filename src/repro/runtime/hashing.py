@@ -29,15 +29,22 @@ cache by construction.
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import fields
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.core.options import AlgorithmOptions, DivisionOptions
 from repro.graph.decomposition_graph import DecompositionGraph
+from repro.graph.flat import _le_bytes
 
 #: Bump when the canonical payload layout changes so stale keys cannot
 #: accidentally collide across versions of the hashing scheme.
-_SCHEMA_VERSION = 1
+#: v1 hashed a ``repr``-built string of the relabeled edge tuples; v2 streams
+#: the packed little-endian flat arrays (:mod:`repro.graph.flat`) instead —
+#: the same canonical relabeling, two orders of magnitude less string work.
+_SCHEMA_VERSION = 2
+
+_U32 = struct.Struct("<I")
 
 
 def canonical_vertex_order(graph: DecompositionGraph) -> List[int]:
@@ -48,17 +55,6 @@ def canonical_vertex_order(graph: DecompositionGraph) -> List[int]:
 def canonical_rank_map(graph: DecompositionGraph) -> Dict[int, int]:
     """Map each vertex id to its rank in the canonical order."""
     return {vertex: rank for rank, vertex in enumerate(canonical_vertex_order(graph))}
-
-
-def _relabel_edges(
-    edges: List[Tuple[int, int]], rank: Dict[int, int]
-) -> List[Tuple[int, int]]:
-    relabeled = []
-    for u, v in edges:
-        ru, rv = rank[u], rank[v]
-        relabeled.append((ru, rv) if ru <= rv else (rv, ru))
-    relabeled.sort()
-    return relabeled
 
 
 def options_fingerprint(
@@ -89,22 +85,28 @@ def canonical_component_key(
     (same rank edge lists and weights) and every solve parameter matches, so
     a cached canonical coloring can be replayed through the rank map without
     re-solving.
+
+    The key is **memoised on the graph object** (per solve configuration,
+    dropped on structural mutation), so the coordinator's routing, the
+    scheduler's dedup and the cache lookup hash each component once.  The
+    payload streams straight out of the memoised flat-array form
+    (:meth:`~repro.graph.decomposition_graph.DecompositionGraph.to_arrays`):
+    a fixed header followed by the length-prefixed packed little-endian
+    canonical buffers (weights, then the three rank-space edge lists).
     """
-    rank = canonical_rank_map(graph)
-    weights = tuple(
-        graph.vertex_data(vertex).weight for vertex in canonical_vertex_order(graph)
+    config = (num_colors, algorithm, options_fingerprint(algorithm_options, division))
+    memo = graph._key_memo
+    key = memo.get(config)
+    if key is not None:
+        return key
+    flat = graph.to_arrays()
+    digest = hashlib.sha256(
+        f"v{_SCHEMA_VERSION}|n={flat.num_vertices}|K={num_colors}"
+        f"|alg={algorithm}|{config[2]}|".encode("utf-8")
     )
-    payload = "|".join(
-        [
-            f"v{_SCHEMA_VERSION}",
-            f"n={graph.num_vertices}",
-            f"K={num_colors}",
-            f"alg={algorithm}",
-            options_fingerprint(algorithm_options, division),
-            f"w={weights}",
-            f"ce={_relabel_edges(graph.conflict_edges(), rank)}",
-            f"se={_relabel_edges(graph.stitch_edges(), rank)}",
-            f"fe={_relabel_edges(graph.friend_edges(), rank)}",
-        ]
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    for buf in flat.canonical_buffers():
+        digest.update(_U32.pack(len(buf)))
+        digest.update(_le_bytes(buf))
+    key = digest.hexdigest()
+    memo[config] = key
+    return key

@@ -80,18 +80,42 @@ class ScheduleOutcome:
     #: solved in the same run.
     cache_hits: int = 0
     deduplicated_components: int = 0
+    #: Pool submissions that travelled through shared-memory segments (the
+    #: remainder shipped their flat frame inline through the pickle channel).
+    shm_components: int = 0
     #: True when a pool was requested but had to be abandoned.
     pool_fallback: bool = False
 
 
+def _resolve_payload_graph(graph_or_transport) -> DecompositionGraph:
+    """Materialise the payload's graph from whichever transport shipped it.
+
+    The in-process path passes the :class:`DecompositionGraph` itself; pool
+    submissions ship the packed flat frame — through a shared-memory segment
+    (``("shm", descriptor)``) when the host allows it, inline through the
+    pickle channel (``("frame", bytes)``) otherwise.
+    """
+    if isinstance(graph_or_transport, DecompositionGraph):
+        return graph_or_transport
+    kind, payload = graph_or_transport
+    if kind == "shm":
+        from repro.runtime.shm_transport import read_segment
+
+        payload = read_segment(payload)
+    from repro.graph.flat import graph_from_frame
+
+    return graph_from_frame(payload)
+
+
 def _solve_component_job(
-    payload: Tuple[DecompositionGraph, str, int, AlgorithmOptions, DivisionOptions],
+    payload: Tuple[object, str, int, AlgorithmOptions, DivisionOptions],
 ) -> Tuple[Dict[int, int], DivisionReport, int]:
     """Worker-side solve of one component (also used by the serial fallback)."""
     # Imported lazily so worker start-up does not drag the CLI/analysis stack in.
     from repro.core.decomposer import make_colorer
 
-    subgraph, algorithm, num_colors, algorithm_options, division = payload
+    graph_or_transport, algorithm, num_colors, algorithm_options, division = payload
+    subgraph = _resolve_payload_graph(graph_or_transport)
     colorer = make_colorer(algorithm, num_colors, algorithm_options)
     report = DivisionReport()
     coloring = color_component(subgraph, colorer, division, report)
@@ -114,6 +138,15 @@ class ComponentScheduler:
     executor:
         Optional externally-owned pool, reused across many graphs; when given,
         ``workers`` only gates whether it is used.
+    use_shared_memory:
+        Ship pool submissions through ``multiprocessing.shared_memory``
+        segments (default).  Hosts where segments cannot be created fall
+        back automatically to inline flat frames over the pickle channel;
+        ``False`` forces the inline path (diagnostics, benchmarks).
+    shm_min_frame_bytes:
+        Frames below this ship inline even with shared memory on (segment
+        syscalls only amortise past a few KiB); ``None`` uses
+        :data:`repro.runtime.shm_transport.SHM_MIN_FRAME_BYTES`.
     """
 
     def __init__(
@@ -125,6 +158,8 @@ class ComponentScheduler:
         workers: Optional[int] = None,
         cache: Optional[ComponentCache] = None,
         executor: Optional[ProcessPoolExecutor] = None,
+        use_shared_memory: bool = True,
+        shm_min_frame_bytes: Optional[int] = None,
     ) -> None:
         self.algorithm = algorithm
         self.num_colors = num_colors
@@ -132,6 +167,8 @@ class ComponentScheduler:
         self.division = division or DivisionOptions()
         self.workers = resolve_workers(workers)
         self.cache = cache
+        self.use_shared_memory = use_shared_memory
+        self.shm_min_frame_bytes = shm_min_frame_bytes
         self._executor = executor
         self._owns_executor = False
 
@@ -255,11 +292,13 @@ class ComponentScheduler:
         remote = [item for item in representatives if item.size > SMALL_COMPONENT_CUTOFF]
         use_pool = self.workers >= 2 and len(remote) >= 2
         if use_pool:
+            segments: List = []
             try:
                 executor = self._ensure_executor()
                 futures = {
                     item.index: executor.submit(
-                        _solve_component_job, self._payload(subgraphs[item.index])
+                        _solve_component_job,
+                        self._remote_payload(subgraphs[item.index], segments, outcome),
                     )
                     for item in remote
                 }
@@ -280,8 +319,16 @@ class ComponentScheduler:
                 outcome.pool_fallback = True
                 outcome.parallel_components = 0
                 outcome.serial_components = 0
+                outcome.shm_components = 0
                 solved.clear()
                 self.close()
+            finally:
+                # Creator-unlinks lifecycle: by the time control reaches
+                # here every worker read has finished (results collected) or
+                # been abandoned (executor shut down above), so the segments
+                # can be released unconditionally.
+                for segment in segments:
+                    segment.unlink()
         for item in representatives:
             solved[item.index] = _solve_component_job(self._payload(subgraphs[item.index]))
             outcome.serial_components += 1
@@ -290,6 +337,37 @@ class ComponentScheduler:
     def _payload(self, subgraph: DecompositionGraph):
         return (
             subgraph,
+            self.algorithm,
+            self.num_colors,
+            self.algorithm_options,
+            self.division,
+        )
+
+    def _remote_payload(
+        self,
+        subgraph: DecompositionGraph,
+        segments: List,
+        outcome: ScheduleOutcome,
+    ):
+        """Payload for a pool submission: flat frame via shm, or inline.
+
+        The flat frame replaces pickling the graph object either way; shared
+        memory additionally keeps the frame bytes out of the executor pipe.
+        Created segments are appended to ``segments`` — the caller owns
+        unlinking them once the futures settle.
+        """
+        frame = subgraph.to_arrays().to_bytes()
+        transport: object = ("frame", frame)
+        if self.use_shared_memory:
+            from repro.runtime.shm_transport import maybe_segment
+
+            segment = maybe_segment(frame, self.shm_min_frame_bytes)
+            if segment is not None:
+                segments.append(segment)
+                outcome.shm_components += 1
+                transport = ("shm", segment.descriptor())
+        return (
+            transport,
             self.algorithm,
             self.num_colors,
             self.algorithm_options,

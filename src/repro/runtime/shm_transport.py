@@ -1,0 +1,126 @@
+"""Shared-memory transport of flat-graph frames to worker processes.
+
+Submitting a component to a ``ProcessPoolExecutor`` used to pickle the whole
+:class:`~repro.graph.decomposition_graph.DecompositionGraph` object graph —
+per-vertex ``VertexData`` instances, adjacency sets, edge sets — through the
+executor's pipe.  The flat-array form makes a better boundary: the parent
+writes the packed frame into one ``multiprocessing.shared_memory`` block and
+pickles only a tiny ``{name, size}`` descriptor; the worker attaches, decodes
+straight out of the mapping, and detaches.  The frame bytes cross the kernel
+once (into the segment) instead of twice (into and out of a pipe), and the
+pickling machinery never walks an object graph at all.
+
+Lifecycle is strictly **creator-unlinks**: the submitting process owns the
+segment and unlinks it when the job's future settles (result, error or
+cancellation) — the worker only ever attaches and closes.  Workers attach
+while the parent is still awaiting the future, so the segment always outlives
+its one read.
+
+Environments without a usable ``/dev/shm`` (locked-down sandboxes) are
+detected by :func:`shared_memory_available` — a one-time probe — and callers
+fall back to shipping the frame bytes inline through the normal pickle
+channel, which preserves correctness and still skips object-graph pickling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Frames smaller than this ship inline through the pickle channel even when
+#: shared memory works: a segment costs a handful of syscalls (shm_open,
+#: ftruncate, mmap, unlink) that only amortise once the payload outweighs
+#: them.  Measured crossover on this class of hardware is a few KiB.
+SHM_MIN_FRAME_BYTES = 8192
+
+#: Probe result cache (``None`` = not probed yet).
+_available: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Return True when the shared-memory transport works here (cached).
+
+    The probe performs the transport's exact roundtrip — create a real
+    segment, read it back through :func:`read_segment`, unlink — so both a
+    sandbox that forbids ``shm_open`` *and* a platform whose segments are
+    not reachable the way the reader reaches them report unavailable (and
+    callers fall back to inline frames).
+    """
+    global _available
+    if _available is None:
+        try:
+            payload = b"repro-shm-probe"
+            segment = ShmSegment(payload)
+            try:
+                _available = read_segment(segment.descriptor()) == payload
+            finally:
+                segment.unlink()
+        except Exception:
+            _available = False
+    return _available
+
+
+class ShmSegment:
+    """One creator-owned shared-memory block holding a payload of bytes."""
+
+    __slots__ = ("_shm", "name", "size")
+
+    def __init__(self, payload: bytes) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        self._shm.buf[: len(payload)] = payload
+        self.name = self._shm.name
+        self.size = len(payload)
+
+    def descriptor(self) -> Dict[str, object]:
+        """The picklable reference a worker resolves with :func:`read_segment`."""
+        return {"name": self.name, "size": self.size}
+
+    def unlink(self) -> None:
+        """Release the segment (idempotent); the creator's responsibility."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def maybe_segment(frame: bytes, threshold: Optional[int] = None) -> Optional["ShmSegment"]:
+    """Apply the transport policy to one frame: a segment, or ``None``.
+
+    The single owner of "when does a frame ride shared memory": the frame
+    must reach the size threshold (``None`` = :data:`SHM_MIN_FRAME_BYTES`),
+    the host must pass the availability probe, and any segment-creation
+    failure (e.g. a full ``/dev/shm`` mid-run) silently keeps the inline
+    path — transport is an optimisation, never a correctness concern.
+    Callers own unlinking a returned segment once their job settles.
+    """
+    limit = SHM_MIN_FRAME_BYTES if threshold is None else threshold
+    if len(frame) < limit or not shared_memory_available():
+        return None
+    try:
+        return ShmSegment(frame)
+    except Exception:
+        return None
+
+
+def read_segment(descriptor: Dict) -> bytes:
+    """Read a segment's payload by descriptor (runs in the worker).
+
+    Deliberately *not* ``SharedMemory(name=...)``: on Python < 3.13
+    attaching registers the segment with the attacher's resource tracker,
+    which then either double-unregisters against the creator (same-process
+    reads, KeyError noise in the tracker) or "cleans up" a segment the
+    creator already unlinked (cross-process reads, leak warnings at exit).
+    POSIX shared memory is name-addressable as a plain file under the shm
+    filesystem, so the reader opens exactly that — no mapping to manage, no
+    tracker involvement, one copy out.  :func:`shared_memory_available`
+    probes this exact path, so platforms where segments are not reachable
+    this way fall back to inline frames before a worker ever gets here.
+    """
+    name = str(descriptor["name"])
+    with open(f"/dev/shm/{name.lstrip('/')}", "rb") as handle:
+        return handle.read(int(descriptor["size"]))

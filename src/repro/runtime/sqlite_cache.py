@@ -49,11 +49,15 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.core.division import DivisionReport
-from repro.runtime.cache import ComponentRecord
+from repro.runtime.cache import ComponentRecord, _shape_matches
 
-#: Bump when the table layout or the JSON payload format changes; mismatched
-#: stores are dropped and rebuilt on open.
-SCHEMA_VERSION = 1
+#: Bump when the table layout, the JSON payload format, or the canonical
+#: hashing scheme feeding the keys changes; mismatched stores are dropped and
+#: rebuilt on open.  v2: component keys moved to the packed-array hashing
+#: scheme (``repro.runtime.hashing._SCHEMA_VERSION == 2``) — v1 rows are keyed
+#: by digests no current caller can ever look up, so they are dead weight and
+#: are dropped wholesale here rather than aged out one eviction at a time.
+SCHEMA_VERSION = 2
 
 #: Seconds a writer waits on a locked database before giving up.
 BUSY_TIMEOUT_SECONDS = 30.0
@@ -65,18 +69,20 @@ def _encode_record(record: ComponentRecord) -> str:
     # enough (and keeps JSON keys from becoming strings).
     colors = [record.coloring[rank] for rank in range(len(record.coloring))]
     report = {f.name: getattr(record.report, f.name) for f in fields(DivisionReport)}
-    return json.dumps(
-        {"colors": colors, "report": report, "timeouts": record.solver_timeouts},
-        separators=(",", ":"),
-    )
+    payload = {"colors": colors, "report": report, "timeouts": record.solver_timeouts}
+    if record.shape is not None:
+        payload["shape"] = list(record.shape)
+    return json.dumps(payload, separators=(",", ":"))
 
 
 def _decode_record(payload: str) -> ComponentRecord:
     data = json.loads(payload)
+    shape = data.get("shape")
     return ComponentRecord(
         coloring={rank: color for rank, color in enumerate(data["colors"])},
         report=DivisionReport(**data["report"]),
         solver_timeouts=data["timeouts"],
+        shape=tuple(shape) if shape is not None else None,
     )
 
 
@@ -183,11 +189,14 @@ class SqliteBackend:
         with self._lock:
             return self._conn.execute("SELECT COUNT(*) FROM components").fetchone()[0]
 
-    def get(self, key: str) -> Optional[ComponentRecord]:
+    def get(
+        self, key: str, expected_shape: Optional[tuple] = None
+    ) -> Optional[ComponentRecord]:
         with self._lock, self._conn:
             row = self._conn.execute(
                 "SELECT payload FROM components WHERE key = ?", (key,)
             ).fetchone()
+            record = None
             if row is not None:
                 try:
                     record = _decode_record(row[0])
@@ -198,8 +207,12 @@ class SqliteBackend:
                     self._conn.execute(
                         "DELETE FROM components WHERE key = ?", (key,)
                     )
-                    row = None
-            if row is None:
+                if record is not None and not _shape_matches(record, expected_shape):
+                    # Wrong shape under a (possibly untrusted) key: a miss.
+                    # The row itself is legitimate — keep it, but neither
+                    # count a hit nor refresh its LRU slot.
+                    record = None
+            if record is None:
                 self._bump_locked("misses")
                 return None
             self._conn.execute(

@@ -1,0 +1,198 @@
+"""Binary wire frames for the component micro-batch hot path.
+
+``POST /components`` is the cluster's dominant byte stream: every layout a
+coordinator serves ships each distinct component's graph to its owner node.
+The JSON v1 schema (:mod:`repro.runtime.component_io`) expands every edge
+into a nested two-element list — parsing cost scales with the *text*, not
+the structure.  The v2 frame defined here ships the graphs as the packed
+flat arrays of :mod:`repro.graph.flat` instead: length-prefixed, little-
+endian, base64-free, decoded by ``struct``/``array`` at memcpy speed.
+
+Content negotiation is by ``Content-Type``:
+
+* a v2 sender marks the request body
+  ``application/x-repro-components-v2`` (:data:`COMPONENTS_V2_CONTENT_TYPE`);
+* a v2 node decodes it natively; a **pre-v2 node** answers ``400`` (the body
+  is not JSON), which the coordinator treats as "this peer speaks JSON only"
+  — it re-sends the batch in the v1 JSON schema and remembers the downgrade
+  for the node's lifetime.  Mixed-version clusters therefore keep working;
+  they just keep paying the JSON tax on the old nodes.
+
+Frame layout (all integers little-endian)::
+
+    <4s magic  b"RPC2">
+    <B  frame version (1)>
+    <I  colors>
+    <B  algorithm length> <algorithm utf-8>
+    <I  component count>
+    per component:
+        <B  key length> <canonical key ascii>   # 0 = sender did not hash
+        <I  graph frame length> <flat-graph frame>   # repro.graph.flat
+
+Each component's canonical cache key rides along so the node never re-hashes
+a graph the coordinator already hashed for routing — the "hash once per
+component per request" contract.  The per-component graph frames are length-
+prefixed, so one malformed frame is reported as that component's error entry
+while its batch siblings decode and solve normally.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.graph.flat import FlatFrameError, FlatGraph
+from repro.runtime.component_io import ComponentWireError
+
+#: ``Content-Type`` marking a v2 binary components request body.
+COMPONENTS_V2_CONTENT_TYPE = "application/x-repro-components-v2"
+
+_MAGIC = b"RPC2"
+#: Bump when the envelope layout changes (the graph frames version separately).
+FRAME_VERSION = 1
+
+_ENVELOPE = struct.Struct("<4sBIB")  # magic, version, colors, algorithm length
+_U32 = struct.Struct("<I")
+_U8 = struct.Struct("<B")
+
+
+def encode_components_frame(
+    entries: List[Tuple[Optional[str], FlatGraph]],
+    colors: int,
+    algorithm: str,
+) -> bytes:
+    """Encode one ``POST /components`` v2 request body.
+
+    ``entries`` pairs each component's canonical key (``None`` when the
+    sender did not compute one) with its flat-array graph.
+    """
+    algorithm_utf8 = algorithm.encode("utf-8")
+    if len(algorithm_utf8) > 255:
+        raise ComponentWireError(f"algorithm name too long: {algorithm!r}")
+    parts: List[bytes] = [
+        _ENVELOPE.pack(_MAGIC, FRAME_VERSION, colors, len(algorithm_utf8)),
+        algorithm_utf8,
+        _U32.pack(len(entries)),
+    ]
+    for key, flat in entries:
+        key_ascii = (key or "").encode("ascii")
+        if len(key_ascii) > 255:
+            raise ComponentWireError(f"component key too long: {key!r}")
+        frame = flat.to_bytes()
+        parts.append(_U8.pack(len(key_ascii)))
+        parts.append(key_ascii)
+        parts.append(_U32.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def frame_size(flat: FlatGraph, key: Optional[str] = None) -> int:
+    """Exact on-wire byte cost of one component entry (for batch budgeting)."""
+    return _U8.size + len(key or "") + _U32.size + flat.frame_size()
+
+
+class ComponentFrame:
+    """One decoded component of a v2 request: its key, graph, or decode error.
+
+    ``frame`` keeps the entry's raw graph-frame bytes so the server can hand
+    them straight to the worker transport (shared memory or inline) without
+    re-encoding the already-validated :attr:`flat`.
+    """
+
+    __slots__ = ("key", "flat", "frame", "error")
+
+    def __init__(
+        self,
+        key: Optional[str] = None,
+        flat: Optional[FlatGraph] = None,
+        frame: Optional[bytes] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        self.key = key
+        self.flat = flat
+        self.frame = frame
+        self.error = error
+
+
+def decode_components_frame(
+    data: bytes,
+) -> Tuple[int, str, List[ComponentFrame]]:
+    """Decode one v2 request body into ``(colors, algorithm, components)``.
+
+    A malformed *envelope* (bad magic/version, truncated header or entry
+    framing) raises :class:`ComponentWireError` — the whole request is
+    unintelligible and answers ``400``.  A malformed *graph frame inside an
+    intact entry* becomes that entry's :attr:`ComponentFrame.error` so the
+    node fails only that component, mirroring the JSON path's per-entry
+    validation envelopes.
+    """
+    view = memoryview(data)
+    try:
+        magic, version, colors, algorithm_length = _ENVELOPE.unpack_from(view, 0)
+    except struct.error as exc:
+        raise ComponentWireError(f"truncated components frame header: {exc}") from exc
+    if magic != _MAGIC:
+        raise ComponentWireError(
+            f"bad components frame magic {bytes(magic)!r} (expected {_MAGIC!r})"
+        )
+    if version != FRAME_VERSION:
+        raise ComponentWireError(
+            f"unsupported components frame version {version} "
+            f"(this node speaks version {FRAME_VERSION})"
+        )
+    cursor = _ENVELOPE.size
+    if cursor + algorithm_length > len(view):
+        raise ComponentWireError("components frame truncated in algorithm name")
+    try:
+        algorithm = bytes(view[cursor : cursor + algorithm_length]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ComponentWireError(f"invalid algorithm name bytes: {exc}") from exc
+    cursor += algorithm_length
+    if cursor + _U32.size > len(view):
+        raise ComponentWireError("components frame truncated before component count")
+    (count,) = _U32.unpack_from(view, cursor)
+    cursor += _U32.size
+
+    components: List[ComponentFrame] = []
+    for position in range(count):
+        if cursor + _U8.size > len(view):
+            raise ComponentWireError(
+                f"components frame truncated before entry {position}"
+            )
+        (key_length,) = _U8.unpack_from(view, cursor)
+        cursor += _U8.size
+        if cursor + key_length + _U32.size > len(view):
+            raise ComponentWireError(
+                f"components frame truncated in entry {position} framing"
+            )
+        try:
+            key = bytes(view[cursor : cursor + key_length]).decode("ascii") or None
+        except UnicodeDecodeError as exc:
+            raise ComponentWireError(
+                f"entry {position} key is not ascii: {exc}"
+            ) from exc
+        cursor += key_length
+        (frame_length,) = _U32.unpack_from(view, cursor)
+        cursor += _U32.size
+        if cursor + frame_length > len(view):
+            raise ComponentWireError(
+                f"components frame truncated in entry {position} graph"
+            )
+        frame = view[cursor : cursor + frame_length]
+        cursor += frame_length
+        # The entry is intact (length-prefixed); a bad graph inside it fails
+        # only this component.
+        try:
+            flat, end = FlatGraph.from_bytes(frame)
+            if end != frame_length:
+                raise FlatFrameError(
+                    f"graph frame has {frame_length - end} trailing bytes"
+                )
+            components.append(ComponentFrame(key=key, flat=flat, frame=bytes(frame)))
+        except FlatFrameError as exc:
+            components.append(ComponentFrame(key=key, error=str(exc)))
+    if cursor != len(view):
+        raise ComponentWireError(
+            f"components frame has {len(view) - cursor} trailing bytes"
+        )
+    return colors, algorithm, components

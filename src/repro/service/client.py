@@ -196,6 +196,11 @@ class ServiceClient:
         status, response_headers, raw = self._request_bytes(
             method, path, body, headers, address or (self.host, self.port)
         )
+        return self._json_response(status, response_headers, raw)
+
+    @staticmethod
+    def _json_response(status: int, response_headers, raw: bytes) -> Dict:
+        """Decode one response as JSON, mapping error statuses to ServiceError."""
         try:
             decoded = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
@@ -288,6 +293,27 @@ class ServiceClient:
         a per-component solve or error envelope.
         """
         return self._request("POST", "/components", payload)
+
+    def components_binary(self, body: bytes) -> Dict:
+        """Solve a component micro-batch shipped as a v2 binary frame.
+
+        ``body`` is an
+        :func:`repro.runtime.wire_binary.encode_components_frame` blob; the
+        response is the same JSON envelope :meth:`components` returns.  A
+        pre-v2 server answers 400 (it tries to parse the frame as JSON) —
+        callers use that signal to fall back to the JSON schema.
+        """
+        from repro.runtime.wire_binary import COMPONENTS_V2_CONTENT_TYPE
+
+        headers = {
+            "Accept": "application/json",
+            "Connection": "keep-alive",
+            "Content-Type": COMPONENTS_V2_CONTENT_TYPE,
+        }
+        status, response_headers, raw = self._request_bytes(
+            "POST", "/components", body, headers, (self.host, self.port)
+        )
+        return self._json_response(status, response_headers, raw)
 
     # ------------------------------------------------------------- helpers
     @staticmethod

@@ -71,6 +71,16 @@ class HttpRequest:
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
 
+    def media_type(self) -> str:
+        """The body's media type, lowercased, without parameters.
+
+        How endpoints accepting more than one representation negotiate —
+        e.g. ``POST /components`` picks its decoder by comparing this
+        against the binary frame's content type (an empty string, like any
+        unrecognised type, selects the JSON default).
+        """
+        return self.headers.get("content-type", "").split(";", 1)[0].strip().lower()
+
 
 async def read_request(
     reader: asyncio.StreamReader,

@@ -88,9 +88,14 @@ def estimate_job_cost(job: Dict) -> int:
 
     Deliberately cheap and structural — vertices for a component, shapes for
     a layout — because the estimate only has to *order* jobs (small before
-    large), not predict wall time.
+    large), not predict wall time.  Binary-framed component jobs carry the
+    vertex count as ``num_vertices`` (the decode already read it); JSON ones
+    fall back to counting the wire dict's entries.
     """
     if job.get("kind") == "component":
+        hint = job.get("num_vertices")
+        if isinstance(hint, int) and hint > 0:
+            return hint
         graph = job.get("graph")
         vertices = graph.get("vertices") if isinstance(graph, dict) else None
         return max(1, len(vertices)) if isinstance(vertices, list) else 1
@@ -115,6 +120,13 @@ class PoolConfig:
     #: Oldest-job wait beyond which the age bump overrides cost order.
     #: ``0`` degenerates to FIFO dispatch.
     starvation_age_seconds: float = 5.0
+    #: Ship component-job graph frames to process workers through
+    #: ``multiprocessing.shared_memory`` (ignored in thread mode, where the
+    #: worker already shares the server's address space).
+    use_shared_memory: bool = True
+    #: Frames below this many bytes ship inline even with shared memory on;
+    #: ``None`` uses :data:`repro.runtime.shm_transport.SHM_MIN_FRAME_BYTES`.
+    shm_min_frame_bytes: Optional[int] = None
 
 
 @dataclass
@@ -153,6 +165,7 @@ class WorkerPool:
             "completed": 0,
             "failed": 0,
             "priority_bumps": 0,
+            "shm_jobs": 0,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -234,26 +247,65 @@ class WorkerPool:
         """
         if klass not in self._queued:
             klass = "interactive"
+        cost = estimate_job_cost(job)
+        job, segment = self._upgrade_transport(job)
         entry = _PendingJob(
             seq=0,
-            cost=estimate_job_cost(job),
+            cost=cost,
             klass=klass,
             enqueued_at=time.monotonic(),
             job=job,
         )
-        with self._lock:
-            if self._stopping or self.mode == "unstarted":
-                raise RuntimeError("pool is not running")
-            self._seq += 1
-            entry.seq = self._seq
-            self._counters["submitted"] += 1
-            self._queued[entry.klass] += 1
-            heapq.heappush(self._heap, (entry.cost, entry.seq, entry))
-            self._fifo.append(entry)
-            failures, submissions = self._dispatch_locked()
+        if segment is not None:
+            # Creator-unlinks lifecycle: the outer future settles exactly
+            # once (result, error or drain-time cancellation), strictly
+            # after the worker's one read.
+            entry.future.add_done_callback(lambda _future: segment.unlink())
+        try:
+            with self._lock:
+                if self._stopping or self.mode == "unstarted":
+                    raise RuntimeError("pool is not running")
+                self._seq += 1
+                entry.seq = self._seq
+                self._counters["submitted"] += 1
+                if segment is not None:
+                    self._counters["shm_jobs"] += 1
+                self._queued[entry.klass] += 1
+                heapq.heappush(self._heap, (entry.cost, entry.seq, entry))
+                self._fifo.append(entry)
+                failures, submissions = self._dispatch_locked()
+        except BaseException:
+            if segment is not None:
+                segment.unlink()
+            raise
         entry.future.add_done_callback(self._on_done)
         self._after_dispatch(failures, submissions)
         return entry.future
+
+    def _upgrade_transport(self, job: Dict):
+        """Move a component job's graph frame into shared memory when useful.
+
+        Only worth it in process mode (thread workers share this address
+        space already); any shared-memory failure quietly keeps the inline
+        frame — transport is an optimisation, never a correctness concern.
+        Returns ``(job, segment)``; a non-``None`` segment is owned by the
+        caller, to be unlinked when the job's future settles.
+        """
+        frame = job.get("graph_frame")
+        if (
+            frame is None
+            or self.mode != "process"
+            or not self.config.use_shared_memory
+        ):
+            return job, None
+        from repro.runtime.shm_transport import maybe_segment
+
+        segment = maybe_segment(frame, self.config.shm_min_frame_bytes)
+        if segment is None:
+            return job, None
+        shipped = {key: value for key, value in job.items() if key != "graph_frame"}
+        shipped["graph_shm"] = segment.descriptor()
+        return shipped, segment
 
     # ----------------------------------------------------------- dispatching
     def _pending_count_locked(self) -> int:

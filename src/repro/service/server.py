@@ -114,6 +114,15 @@ class ServerConfig:
     #: Oldest-queued-job wait beyond which the pool's age bump overrides
     #: smallest-cost-first dispatch (0 = FIFO).
     starvation_age_seconds: float = 5.0
+    #: Accept the binary v2 ``POST /components`` frame.  ``False`` emulates a
+    #: pre-v2 node (binary bodies fail JSON parsing with 400), which is how
+    #: the mixed-version-cluster tests exercise the coordinator's fallback.
+    binary_wire: bool = True
+    #: Ship component graph frames to process workers via shared memory.
+    use_shared_memory: bool = True
+    #: Frames below this many bytes ship inline even with shared memory on;
+    #: ``None`` uses the transport default.
+    shm_min_frame_bytes: Optional[int] = None
 
 
 class DecompositionServer(BaseHttpServer):
@@ -153,6 +162,8 @@ class DecompositionServer(BaseHttpServer):
                 cache_max_entries=self.config.cache_max_entries,
                 force_inline=self.config.force_inline_pool,
                 starvation_age_seconds=self.config.starvation_age_seconds,
+                use_shared_memory=self.config.use_shared_memory,
+                shm_min_frame_bytes=self.config.shm_min_frame_bytes,
             )
         )
         self._counters.update(
@@ -295,7 +306,35 @@ class DecompositionServer(BaseHttpServer):
         """One component micro-batch: per-component results, one admission slot."""
         loop = asyncio.get_running_loop()
 
-        def _decode_batch() -> List[object]:
+        def _decode_binary_batch() -> List[object]:
+            # The v2 hot path: packed flat-array frames, no JSON in sight.
+            # Envelope damage is a request-level 400; a bad graph frame
+            # inside an intact entry fails only that component.
+            from repro.runtime.wire_binary import decode_components_frame
+
+            colors, algorithm, frames = decode_components_frame(request.body)
+            if not frames:
+                raise ComponentWireError("components frame carries no components")
+            options_for(colors, algorithm)  # envelope-level 400
+            entries: List[object] = []
+            for component in frames:
+                if component.error is not None:
+                    entries.append(ComponentWireError(component.error))
+                    continue
+                entries.append(
+                    {
+                        "kind": "component",
+                        "graph_frame": component.frame,
+                        "key": component.key,
+                        "colors": colors,
+                        "algorithm": algorithm,
+                        "num_vertices": component.flat.num_vertices,
+                        "priority_class": "batch",
+                    }
+                )
+            return entries
+
+        def _decode_json_batch() -> List[object]:
             payload = request.json()
             if not isinstance(payload, dict):
                 raise ComponentWireError("request body must be a JSON object")
@@ -317,6 +356,9 @@ class DecompositionServer(BaseHttpServer):
                     "algorithm": algorithm,
                     "priority_class": "batch",
                 }
+                key = item.get("key") if isinstance(item, dict) else None
+                if isinstance(key, str) and key:
+                    candidate["key"] = key
                 try:
                     validate_component_request(candidate)
                 except ComponentWireError as exc:
@@ -325,8 +367,15 @@ class DecompositionServer(BaseHttpServer):
                 entries.append(candidate)
             return entries
 
+        from repro.runtime.wire_binary import COMPONENTS_V2_CONTENT_TYPE
+
+        use_binary = (
+            self.config.binary_wire
+            and request.media_type() == COMPONENTS_V2_CONTENT_TYPE
+        )
+        decode = _decode_binary_batch if use_binary else _decode_json_batch
         try:
-            entries = await loop.run_in_executor(None, _decode_batch)
+            entries = await loop.run_in_executor(None, decode)
         except (ProtocolError, ComponentWireError) as exc:
             self._counters["invalid"] += 1
             return (*error_body(400, str(exc)), None)

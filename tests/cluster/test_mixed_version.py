@@ -1,0 +1,148 @@
+"""Mixed-version clusters: binary coordinators against JSON-only nodes.
+
+A rolling upgrade will run a v2 (binary-wire) coordinator against nodes that
+still speak only the JSON v1 component schema.  The contract: the first
+binary frame such a node rejects downgrades it — permanently, in the
+coordinator's memory — to JSON, results stay byte-identical to a direct
+:class:`Decomposer` run, and uniformly-new clusters never downgrade at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.factory import repeated_cell_layout, wire_row_layout
+from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
+from repro.core.decomposer import Decomposer
+from repro.service import ServerConfig, ServerThread
+from repro.service.protocol import build_options, canonical_json, result_to_payload
+
+from cluster_harness import mini_cluster
+
+pytestmark = pytest.mark.cluster
+
+
+def _direct_payload(layout, name, algorithm="linear", colors=4):
+    layer = layout.layers()[0]
+    result = Decomposer(build_options(colors, algorithm)).decompose(layout, layer=layer)
+    return result_to_payload(name, layer, result)
+
+
+def _layouts():
+    return [
+        ("cells", repeated_cell_layout(copies=4)),
+        ("wires", wire_row_layout(num_wires=4, wire_length=600)),
+    ]
+
+
+class TestDowngradePredicate:
+    def test_only_json_parse_failures_downgrade(self):
+        """A 400 from a binary-capable peer must not trigger the sticky
+        downgrade — only the signatures a JSON-only node actually emits."""
+        from repro.cluster.coordinator import ClusterCoordinator
+        from repro.service.client import ServiceError
+
+        rejected = ClusterCoordinator._peer_rejected_binary
+        assert rejected(
+            ServiceError(400, "request body is not valid JSON: line 1")
+        )
+        assert rejected(ServiceError(415, "unsupported media type"))
+        assert not rejected(ServiceError(400, "unknown algorithm 'nope'"))
+        assert not rejected(ServiceError(400, "components frame carries no components"))
+        assert not rejected(ServiceError(503, "queue is full"))
+        assert not rejected(ServiceError(0, "cannot reach node"))
+
+
+class TestRenegotiationOnTransition:
+    def test_liveness_transitions_reset_wire_state(self):
+        """Death and failback both clear a node's sticky negotiation, so a
+        build swapped in at the same address renegotiates from scratch."""
+        from repro.cluster.coordinator import ClusterCoordinator
+
+        coordinator = ClusterCoordinator(
+            CoordinatorConfig(port=0, peers=["127.0.0.1:19999"], probe_interval=60.0)
+        )
+        node_id = "127.0.0.1:19999"
+        with coordinator._counter_lock:
+            coordinator._json_only_nodes.add(node_id)
+            coordinator._binary_nodes.add(node_id)
+        # Observed hard failure resets both (via the membership hook).
+        assert coordinator.membership.mark_dead(node_id, "connection refused")
+        assert node_id not in coordinator._json_only_nodes
+        assert node_id not in coordinator._binary_nodes
+        # Failback (probe success after death) resets again.
+        with coordinator._counter_lock:
+            coordinator._json_only_nodes.add(node_id)
+        coordinator.membership._record_probe(node_id, True, None)
+        assert node_id not in coordinator._json_only_nodes
+
+
+class TestUniformBinaryCluster:
+    def test_no_downgrades_between_v2_peers(self):
+        with mini_cluster(num_nodes=2) as cluster:
+            client = cluster.client()
+            for name, layout in _layouts():
+                served = client.decompose(layout, name=name, algorithm="linear")
+                assert canonical_json(served) == canonical_json(
+                    _direct_payload(layout, name)
+                )
+            stats = client.stats()
+            assert stats["coordinator"]["wire_downgrades"] == 0
+            assert stats["coordinator"]["components_routed"] > 0
+
+
+class TestJsonOnlyNodes:
+    def test_all_json_nodes_fall_back_and_match_direct(self):
+        with mini_cluster(num_nodes=2, node_config={"binary_wire": False}) as cluster:
+            client = cluster.client()
+            for name, layout in _layouts():
+                served = client.decompose(layout, name=name, algorithm="linear")
+                assert canonical_json(served) == canonical_json(
+                    _direct_payload(layout, name)
+                )
+            stats = client.stats()
+            # Each node is downgraded exactly once, no matter how many
+            # batches it serves afterwards.
+            assert 1 <= stats["coordinator"]["wire_downgrades"] <= 2
+            downgrades_after_first = stats["coordinator"]["wire_downgrades"]
+            client.decompose(
+                repeated_cell_layout(copies=4), name="again", algorithm="linear"
+            )
+            assert (
+                client.stats()["coordinator"]["wire_downgrades"]
+                == downgrades_after_first
+            )
+
+    def test_mixed_cluster_binary_and_json_nodes(self):
+        """One v2 node + one JSON-only node behind one coordinator."""
+        new_node = ServerThread(ServerConfig(port=0, workers=1, force_inline_pool=True))
+        old_node = ServerThread(
+            ServerConfig(port=0, workers=1, force_inline_pool=True, binary_wire=False)
+        )
+        coordinator = None
+        try:
+            peers = ["%s:%d" % new_node.start(), "%s:%d" % old_node.start()]
+            coordinator = CoordinatorThread(
+                CoordinatorConfig(port=0, peers=peers, probe_interval=60.0)
+            )
+            address = coordinator.start()
+            cluster_client = ClusterClient(*address)
+            cluster_client.wait_until_healthy()
+            for name, layout in _layouts():
+                served = cluster_client.decompose(
+                    layout, name=name, algorithm="linear"
+                )
+                assert canonical_json(served) == canonical_json(
+                    _direct_payload(layout, name)
+                )
+            stats = cluster_client.stats()
+            # Only the old node may downgrade; components must have been
+            # routed (to either peer) successfully.
+            assert stats["coordinator"]["wire_downgrades"] <= 1
+            assert stats["coordinator"]["components_routed"] > 0
+            assert stats["coordinator"]["failed"] == 0
+        finally:
+            if coordinator is not None:
+                coordinator.stop()
+            new_node.stop()
+            old_node.stop()

@@ -126,6 +126,23 @@ class TestCacheAccounting:
         assert record.report.colored_pieces == 1
         assert record.solver_timeouts == 2
 
+    def test_record_size_mismatch_is_a_miss_not_a_crash(self):
+        """A key whose record covers a different vertex count replays as a
+        miss: keys can arrive from untrusted component requests, and a
+        wrong one must never KeyError (or mis-color) the lookup."""
+        triangle = DecompositionGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        path3 = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        path4 = DecompositionGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        cache = ComponentCache()
+        key = _key(path3)
+        cache.store(key, path3, {0: 0, 1: 1, 2: 0})
+        assert cache.lookup(key, path4) is None  # wrong vertex count: miss
+        # Same vertex count, different edges: the path's 2-coloring would be
+        # an illegal triangle coloring — the shape guard makes it a miss.
+        assert cache.lookup(key, triangle) is None
+        assert cache.lookup(key, path3) is not None  # the real graph: hit
+        assert cache.stats.misses == 2 and cache.stats.hits == 1
+
     def test_lru_eviction(self):
         cache = ComponentCache(max_entries=1)
         first = DecompositionGraph.from_edges([(0, 1)])

@@ -1,0 +1,162 @@
+"""Shared-memory transport: segment lifecycle, worker decode, determinism."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.bench.synthetic import SyntheticSpec, generate_layout
+from repro.core.options import DecomposerOptions
+from repro.graph.components import connected_components
+from repro.graph.construction import build_decomposition_graph
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.runtime.scheduler import ComponentScheduler
+from repro.runtime.shm_transport import (
+    ShmSegment,
+    read_segment,
+    shared_memory_available,
+)
+
+
+def _many_component_graph():
+    layout = generate_layout(
+        SyntheticSpec(
+            name="shm-spread",
+            rows=4,
+            tracks_per_row=4,
+            row_length=3000,
+            fill_rate=0.6,
+            cluster_rate=1.0,
+            seed=7,
+        )
+    )
+    options = DecomposerOptions.for_quadruple_patterning("linear")
+    return build_decomposition_graph(
+        layout, layer="metal1", options=options.construction
+    ).graph
+
+
+class TestSegment:
+    def test_roundtrip(self):
+        if not shared_memory_available():
+            pytest.skip("shared memory unavailable in this sandbox")
+        payload = bytes(range(256)) * 11
+        segment = ShmSegment(payload)
+        try:
+            assert read_segment(segment.descriptor()) == payload
+        finally:
+            segment.unlink()
+
+    def test_unlink_is_idempotent(self):
+        if not shared_memory_available():
+            pytest.skip("shared memory unavailable in this sandbox")
+        segment = ShmSegment(b"x")
+        segment.unlink()
+        segment.unlink()  # second call must be a no-op, not a crash
+
+    def test_cross_process_read(self):
+        """A forked child reads exactly what the parent wrote."""
+        if not shared_memory_available():
+            pytest.skip("shared memory unavailable in this sandbox")
+        payload = b"cross-process flat frame payload" * 64
+        segment = ShmSegment(payload)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(1) as pool:
+                echoed = pool.apply(read_segment, (segment.descriptor(),))
+            assert echoed == payload
+        finally:
+            segment.unlink()
+
+
+class TestSchedulerTransport:
+    def test_default_threshold_keeps_small_frames_inline(self):
+        """At the default threshold, tiny components never pay for segments."""
+        graph = _many_component_graph()
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        with ComponentScheduler(
+            "linear", 4, options.algorithm_options, options.division, workers=2
+        ) as scheduler:
+            outcome = scheduler.run(graph)
+        serial = ComponentScheduler(
+            "linear", 4, options.algorithm_options, options.division, workers=1
+        ).run(graph)
+        assert outcome.coloring == serial.coloring
+        largest_frame = max(
+            graph.subgraph(component).to_arrays().frame_size()
+            for component in connected_components(graph)
+        )
+        from repro.runtime.shm_transport import SHM_MIN_FRAME_BYTES
+
+        if largest_frame < SHM_MIN_FRAME_BYTES:
+            assert outcome.shm_components == 0
+
+    def test_shm_parallel_matches_serial(self):
+        """The shared-memory pool path is byte-identical to the serial one."""
+        graph = _many_component_graph()
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        serial = ComponentScheduler(
+            "linear", 4, options.algorithm_options, options.division, workers=1
+        ).run(graph)
+        with ComponentScheduler(
+            "linear",
+            4,
+            options.algorithm_options,
+            options.division,
+            workers=2,
+            shm_min_frame_bytes=0,  # tiny test components: force the shm leg
+        ) as scheduler:
+            parallel = scheduler.run(graph)
+        assert parallel.coloring == serial.coloring
+        if shared_memory_available() and not parallel.pool_fallback:
+            assert parallel.shm_components == parallel.parallel_components > 0
+
+    def test_inline_frame_fallback_matches_serial(self):
+        """With shared memory disabled, frames ship inline — same bytes out."""
+        graph = _many_component_graph()
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        serial = ComponentScheduler(
+            "linear", 4, options.algorithm_options, options.division, workers=1
+        ).run(graph)
+        with ComponentScheduler(
+            "linear",
+            4,
+            options.algorithm_options,
+            options.division,
+            workers=2,
+            use_shared_memory=False,
+        ) as scheduler:
+            inline = scheduler.run(graph)
+        assert inline.coloring == serial.coloring
+        assert inline.shm_components == 0
+
+    def test_no_segment_leaks(self):
+        """Every segment created during a run is unlinked afterwards."""
+        if not shared_memory_available():
+            pytest.skip("shared memory unavailable in this sandbox")
+        created = []
+        original_init = ShmSegment.__init__
+
+        def tracking_init(self, payload):
+            original_init(self, payload)
+            created.append(self)
+
+        graph = _many_component_graph()
+        options = DecomposerOptions.for_quadruple_patterning("linear")
+        ShmSegment.__init__ = tracking_init
+        try:
+            with ComponentScheduler(
+                "linear",
+                4,
+                options.algorithm_options,
+                options.division,
+                workers=2,
+                shm_min_frame_bytes=0,
+            ) as scheduler:
+                outcome = scheduler.run(graph)
+        finally:
+            ShmSegment.__init__ = original_init
+        if not outcome.pool_fallback:
+            assert created
+        assert all(segment._shm is None for segment in created)  # all unlinked

@@ -153,6 +153,31 @@ class TestRecovery:
         assert cache.lookup(key, graph).coloring == coloring
         cache.close()
 
+    def test_v1_era_store_is_dropped_wholesale(self, db_path):
+        """A database written by the schema-v1 build loses its rows on open.
+
+        v1 rows are keyed by the retired repr-string hashing scheme — no
+        current caller can ever produce those keys, so keeping the rows
+        would only burn the entry budget.  Simulates the old file by
+        rewinding the stamped schema version under populated tables.
+        """
+        graph = _path_graph()
+        key, coloring = _key_and_coloring(graph)
+        cache = ComponentCache(backend=SqliteBackend(db_path))
+        cache.store(key, graph, coloring)
+        cache.close()
+        with sqlite3.connect(str(db_path)) as conn:
+            conn.execute("UPDATE meta SET value = '1' WHERE key = 'schema_version'")
+
+        reopened = ComponentCache(backend=SqliteBackend(db_path))
+        assert len(reopened) == 0
+        with sqlite3.connect(str(db_path)) as conn:
+            stamped = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()[0]
+        assert stamped == str(SCHEMA_VERSION)
+        reopened.close()
+
     def test_schema_version_mismatch_invalidates(self, db_path):
         graph = _path_graph()
         key, coloring = _key_and_coloring(graph)
