@@ -7,6 +7,12 @@ to run to completion; a node-expansion budget turns it into an anytime
 algorithm that degrades to its greedy incumbent, which is how the
 SDP+Backtrack flow stays practical on components where the SDP produced few
 merge candidates.
+
+:func:`search_merged_graph` is the *reference* implementation — the bit-exact
+semantics every optimized kernel (:mod:`repro.core.kernels.backtrack_kernel`)
+must reproduce.  Production call sites go through
+:func:`run_backtrack_search`, which dispatches to the fastest available
+implementation.
 """
 
 from __future__ import annotations
@@ -22,7 +28,12 @@ from repro.graph.simplify import MergedGraph, build_merged_graph
 
 @dataclass
 class BacktrackStatistics:
-    """Search statistics of the last :func:`search_merged_graph` call."""
+    """Search statistics of the last :func:`search_merged_graph` call.
+
+    Every search call overwrites all three fields (including the trivial
+    empty-graph search), so one instance can be reused across calls without
+    ever observing a stale value from an earlier search.
+    """
 
     expansions: int = 0
     completed: bool = True
@@ -57,9 +68,27 @@ def search_merged_graph(
         computed when omitted.
     statistics:
         Optional statistics sink.
+
+    Budget contract
+    ---------------
+    An *expansion* is one candidate ``(node, color)`` placement actually
+    evaluated; stack entries discarded by symmetry breaking are free.
+    ``completed`` is ``True`` iff the search space was exhausted — the
+    returned coloring is then a proven optimum — and ``False`` iff the
+    budget stopped exploration while candidate placements remained.  A
+    search whose last candidate placement lands exactly on the budget is
+    exhausted, hence ``completed=True``.  With ``expansion_limit <= 0`` (and
+    a non-empty graph) nothing is explored: the incumbent (``initial`` or
+    the greedy coloring) is returned with ``expansions=0`` and
+    ``completed=False``.  The empty graph is trivially complete
+    (``expansions=0``, ``best_cost=0.0``).
     """
     n = merged.num_nodes
     if n == 0:
+        if statistics is not None:
+            statistics.expansions = 0
+            statistics.completed = True
+            statistics.best_cost = 0.0
         return {}
 
     # Order nodes by decreasing weighted degree so heavy nodes are fixed early
@@ -92,6 +121,12 @@ def search_merged_graph(
     best_assignment = [incumbent.get(node, 0) for node in range(n)]
 
     assignment = [-1] * n
+    # Positions ``order[0:dirty]`` are the only ones that may hold a live
+    # assignment; everything at or past ``dirty`` is already -1.  Clearing
+    # only the actually-dirty suffix on backtrack makes the undo amortized
+    # O(1) per expansion (each cell is cleared at most once per assignment)
+    # instead of the former O(n) full-suffix sweep.
+    dirty = 0
     expansions = 0
     completed = True
 
@@ -112,25 +147,31 @@ def search_merged_graph(
     stack: List[Tuple[int, int, float, int]] = [(0, 0, 0.0, -1)]
     while stack:
         depth, color, cost_so_far, max_used = stack.pop()
-        if expansions >= expansion_limit:
-            completed = False
-            break
-        node = order[depth]
-        # Undo any deeper assignment left over from a previous branch.
-        for d in range(depth, n):
-            assignment[order[d]] = -1
+        # Undo assignments left over from a deeper branch.
+        while dirty > depth:
+            dirty -= 1
+            assignment[order[dirty]] = -1
         # Symmetry breaking: a fresh color may only be the next unused index.
         if color > min(num_colors - 1, max_used + 1):
             continue
+        # Budget check sits *after* the symmetry prune (discarded entries are
+        # not explorations) and *before* the expansion it would forbid, so a
+        # search whose final placement exhausts both the stack and the budget
+        # still reports completed=True.
+        if expansions >= expansion_limit:
+            completed = False
+            break
         # Schedule the sibling branch (next color) before descending.
         if color + 1 <= min(num_colors - 1, max_used + 1):
             stack.append((depth, color + 1, cost_so_far, max_used))
 
         expansions += 1
+        node = order[depth]
         new_cost = cost_so_far + cost_of_placing(node, color)
         if new_cost >= best_cost:
             continue
         assignment[node] = color
+        dirty = depth + 1
         new_max = max(max_used, color)
         if depth + 1 == n:
             best_cost = new_cost
@@ -143,6 +184,45 @@ def search_merged_graph(
         statistics.completed = completed
         statistics.best_cost = best_cost
     return {node: best_assignment[node] for node in range(n)}
+
+
+def run_backtrack_search(
+    merged: MergedGraph,
+    num_colors: int,
+    alpha: float,
+    expansion_limit: int = 2_000_000,
+    initial: Optional[Dict[int, int]] = None,
+    statistics: Optional[BacktrackStatistics] = None,
+) -> Dict[int, int]:
+    """Solve ``merged`` with the fastest available backtracking implementation.
+
+    Dispatches through :func:`repro.core.kernels.select_kernel` to the
+    packed-array kernel (compiled core or pure-Python fallback) when kernels
+    are enabled, and to the reference :func:`search_merged_graph` otherwise.
+    Every implementation is bit-identical — same coloring, same tie-breaks,
+    same expansion count and statistics — so call sites never observe which
+    one ran.
+    """
+    from repro.core.kernels import select_kernel
+
+    kernel = select_kernel("backtrack")
+    if kernel is not None:
+        return kernel.backtrack_search(
+            merged,
+            num_colors,
+            alpha,
+            expansion_limit=expansion_limit,
+            initial=initial,
+            statistics=statistics,
+        )
+    return search_merged_graph(
+        merged,
+        num_colors,
+        alpha,
+        expansion_limit=expansion_limit,
+        initial=initial,
+        statistics=statistics,
+    )
 
 
 class BacktrackColoring(ColoringAlgorithm):
@@ -161,7 +241,7 @@ class BacktrackColoring(ColoringAlgorithm):
             return {}
         merged = build_merged_graph(graph, [])
         group_of = merged.group_of()
-        node_coloring = search_merged_graph(
+        node_coloring = run_backtrack_search(
             merged,
             self.num_colors,
             self.options.alpha,

@@ -65,38 +65,48 @@ def greedy_color_graph(
 def greedy_color_merged(
     merged: MergedGraph, num_colors: int, alpha: float
 ) -> Dict[int, int]:
-    """Greedily color a merged (weighted) graph; returns node -> color."""
-    order = sorted(
-        range(merged.num_nodes),
-        key=lambda node: (-len(merged.groups[node]), node),
-    )
+    """Greedily color a merged (weighted) graph; returns node -> color.
+
+    Mirrors :func:`greedy_color_graph` exactly on singleton-group merged
+    graphs: nodes are processed in decreasing conflict-degree order (number
+    of distinct conflict-weighted edges, the merged analogue of
+    ``conflict_degree``), cost accumulators stay integers until the single
+    ``hits + alpha * misses`` float comparison, and ties break toward the
+    lower color then the lower node id.  An earlier version ordered by group
+    size and accumulated float costs, which diverged from the unweighted
+    reference on singleton groups.
+    """
+    n = merged.num_nodes
     conflict = merged.conflict_weight
     stitch = merged.stitch_weight
-    adjacency: Dict[int, List[Tuple[int, int, int]]] = {
-        node: [] for node in range(merged.num_nodes)
-    }
+    adjacency: Dict[int, List[Tuple[int, int, int]]] = {node: [] for node in range(n)}
+    conflict_degree = [0] * n
     keys = set(conflict) | set(stitch)
     for a, b in keys:
         cw = conflict.get((a, b), 0)
         sw = stitch.get((a, b), 0)
         adjacency[a].append((b, cw, sw))
         adjacency[b].append((a, cw, sw))
+        if cw:
+            conflict_degree[a] += 1
+            conflict_degree[b] += 1
+    order = sorted(range(n), key=lambda node: (-conflict_degree[node], node))
 
     coloring: Dict[int, int] = {}
     for node in order:
-        conflict_cost = [0.0] * num_colors
-        stitch_total = 0.0
-        stitch_match = [0.0] * num_colors
+        conflict_hits = [0] * num_colors
+        stitch_total = 0
+        stitch_match = [0] * num_colors
         for other, cw, sw in adjacency[node]:
             color = coloring.get(other)
             if color is None:
                 continue
-            conflict_cost[color] += cw
+            conflict_hits[color] += cw
             stitch_total += sw
             stitch_match[color] += sw
         coloring[node] = min(
             range(num_colors),
-            key=lambda c: (conflict_cost[c] + alpha * (stitch_total - stitch_match[c]), c),
+            key=lambda c: (conflict_hits[c] + alpha * (stitch_total - stitch_match[c]), c),
         )
     return coloring
 
@@ -108,4 +118,9 @@ class GreedyColoring(ColoringAlgorithm):
 
     def color(self, graph: DecompositionGraph) -> Dict[int, int]:
         """Color ``graph`` greedily in decreasing conflict-degree order."""
+        from repro.core.kernels import select_kernel
+
+        kernel = select_kernel("greedy")
+        if kernel is not None:
+            return kernel.greedy_color(graph, self.num_colors, self.options.alpha)
         return greedy_color_graph(graph, self.num_colors, self.options.alpha)

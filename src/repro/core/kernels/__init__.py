@@ -1,0 +1,130 @@
+"""Vectorized solve kernels over the flat-array graph form.
+
+The per-component solvers in :mod:`repro.core` are the reference
+implementations: dict-walking pure Python, written for clarity and pinned by
+the golden tables.  The kernels in this package consume the packed
+:class:`repro.graph.flat.FlatGraph` arrays (CSR adjacency, flat earlier-edge
+arrays, color bitmasks) and — for the hot backtracking/greedy inner loops —
+an optional compiled C core, while producing **bit-identical output**: same
+colorings, same tie-breaks, same search statistics.  Parity is the hard
+acceptance gate (``tests/kernels/``), which is why the kernels replicate the
+reference float expression order operation for operation.
+
+Dispatch is controlled by the ``REPRO_SOLVE_KERNELS`` environment variable
+(checked once per solve, overridable in-process via :func:`set_kernel_mode`):
+
+``auto`` (default)
+    Use the kernels; use the compiled core when it is available (building it
+    on first use), the pure-Python packed-array fallback otherwise.
+``compiled``
+    Use the kernels and *require* the compiled core — raise instead of
+    silently falling back (CI uses this to keep the compiled path honest).
+``python``
+    Use the kernels with the pure-Python core only (never build/load C).
+``off``
+    Bypass the kernels entirely and run the reference solvers.
+
+The mode deliberately lives outside :class:`repro.core.options.AlgorithmOptions`:
+options are fingerprinted into cache keys, and because every mode produces
+identical output, keys must not (and do not) depend on which kernel ran.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Environment variable selecting the kernel mode.
+KERNEL_MODE_ENV = "REPRO_SOLVE_KERNELS"
+
+_VALID_MODES = ("auto", "compiled", "python", "off")
+
+#: In-process override (tests, benchmarks); ``None`` defers to the env var.
+_forced_mode: Optional[str] = None
+
+
+def kernel_mode() -> str:
+    """Return the active kernel mode (``auto``/``compiled``/``python``/``off``)."""
+    if _forced_mode is not None:
+        return _forced_mode
+    raw = os.environ.get(KERNEL_MODE_ENV, "").strip().lower()
+    if not raw:
+        return "auto"
+    if raw not in _VALID_MODES:
+        raise ConfigurationError(
+            f"{KERNEL_MODE_ENV}={raw!r} is not a kernel mode; "
+            f"expected one of {', '.join(_VALID_MODES)}"
+        )
+    return raw
+
+
+def set_kernel_mode(mode: Optional[str]) -> Optional[str]:
+    """Force the kernel mode in-process; ``None`` re-enables the env var.
+
+    Returns the previous override so callers can restore it.
+    """
+    global _forced_mode
+    if mode is not None and mode not in _VALID_MODES:
+        raise ConfigurationError(
+            f"unknown kernel mode {mode!r}; expected one of {', '.join(_VALID_MODES)}"
+        )
+    previous = _forced_mode
+    _forced_mode = mode
+    return previous
+
+
+def select_kernel(algorithm: str):
+    """Return the kernel module for ``algorithm``, or ``None`` to use the reference.
+
+    ``algorithm`` is one of ``greedy``, ``linear``, ``backtrack``; anything
+    else (and mode ``off``) selects the reference solver.
+    """
+    if kernel_mode() == "off":
+        return None
+    if algorithm == "greedy":
+        from repro.core.kernels import greedy_kernel
+
+        return greedy_kernel
+    if algorithm == "linear":
+        from repro.core.kernels import linear_kernel
+
+        return linear_kernel
+    if algorithm == "backtrack":
+        from repro.core.kernels import backtrack_kernel
+
+        return backtrack_kernel
+    return None
+
+
+def active_core():
+    """Return the loaded compiled core for the current mode, or ``None``.
+
+    ``off`` and ``python`` never load it; ``compiled`` raises
+    :class:`~repro.errors.ConfigurationError` when it cannot be built or
+    loaded (no silent fallback); ``auto`` returns it opportunistically.
+    """
+    mode = kernel_mode()
+    if mode in ("off", "python"):
+        return None
+    from repro.core.kernels.ccore import compiled_core
+
+    core = compiled_core()
+    if core is None and mode == "compiled":
+        raise ConfigurationError(
+            f"{KERNEL_MODE_ENV}=compiled but the compiled solve core is "
+            "unavailable (no C compiler, build disabled via "
+            "REPRO_KERNELS_BUILD=0, or the build failed); use mode "
+            "'auto'/'python' to run the pure-Python kernels"
+        )
+    return core
+
+
+__all__ = [
+    "KERNEL_MODE_ENV",
+    "active_core",
+    "kernel_mode",
+    "select_kernel",
+    "set_kernel_mode",
+]

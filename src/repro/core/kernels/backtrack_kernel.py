@@ -1,0 +1,191 @@
+"""Packed-array branch-and-bound search (kernel for ``search_merged_graph``).
+
+The reference search in :mod:`repro.core.backtrack` walks per-node Python
+lists of ``(other, conflict_w, stitch_w)`` tuples.  This kernel packs them
+into four flat arrays in **position space** (position = index in the
+decreasing-weighted-degree order, so the DFS works on contiguous ints) and
+runs the identical loop — same dirty-suffix undo, same symmetry breaking,
+same budget contract, same float accumulation order — either in pure Python
+or in the compiled C core.
+
+Bit-exactness notes: all float-sensitive preprocessing (weighted degrees,
+the node order, the incumbent cost) happens in Python with the reference
+expressions; the packed per-position edge lists preserve the reference
+append order (conflict entries in dict order, then stitch entries), so the
+``added`` accumulator sums the same doubles in the same order; and the C
+build disables FP contraction, so compiled arithmetic is IEEE-identical to
+CPython's.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Optional
+
+from repro.core.kernels import active_core
+
+
+def backtrack_search(
+    merged,
+    num_colors: int,
+    alpha: float,
+    expansion_limit: int = 2_000_000,
+    initial: Optional[Dict[int, int]] = None,
+    statistics=None,
+) -> Dict[int, int]:
+    """Branch-and-bound search; bit-identical to ``search_merged_graph``."""
+    from repro.core.greedy_coloring import greedy_color_merged
+
+    n = merged.num_nodes
+    if n == 0:
+        if statistics is not None:
+            statistics.expansions = 0
+            statistics.completed = True
+            statistics.best_cost = 0.0
+        return {}
+
+    weight_degree = [0.0] * n
+    for (a, b), w in merged.conflict_weight.items():
+        weight_degree[a] += w
+        weight_degree[b] += w
+    for (a, b), w in merged.stitch_weight.items():
+        weight_degree[a] += alpha * w
+        weight_degree[b] += alpha * w
+    order = sorted(range(n), key=lambda node: (-weight_degree[node], node))
+    position = {node: index for index, node in enumerate(order)}
+
+    # Per-node earlier-edge lists in the reference append order, then packed
+    # into position-space CSR: edges of the node at position p live in
+    # edge_pos/edge_cw/edge_sw[edge_start[p]:edge_start[p + 1]].
+    earlier = [[] for _ in range(n)]
+    for (a, b), w in merged.conflict_weight.items():
+        if position[a] < position[b]:
+            earlier[b].append((position[a], float(w), 0.0))
+        else:
+            earlier[a].append((position[b], float(w), 0.0))
+    for (a, b), w in merged.stitch_weight.items():
+        if position[a] < position[b]:
+            earlier[b].append((position[a], 0.0, float(w)))
+        else:
+            earlier[a].append((position[b], 0.0, float(w)))
+
+    edge_start = array("i", bytes(4 * (n + 1)))
+    total = 0
+    for p, node in enumerate(order):
+        edge_start[p] = total
+        total += len(earlier[node])
+    edge_start[n] = total
+    edge_pos = array("i", bytes(4 * total))
+    edge_cw = array("d", bytes(8 * total))
+    edge_sw = array("d", bytes(8 * total))
+    cursor = 0
+    for node in order:
+        for other_pos, cw, sw in earlier[node]:
+            edge_pos[cursor] = other_pos
+            edge_cw[cursor] = cw
+            edge_sw[cursor] = sw
+            cursor += 1
+
+    incumbent = dict(initial) if initial else greedy_color_merged(merged, num_colors, alpha)
+    _, _, best_cost = merged.coloring_cost(incumbent, alpha)
+    best_pos = array("i", bytes(4 * n))
+    for p, node in enumerate(order):
+        best_pos[p] = incumbent.get(node, 0)
+
+    core = active_core()
+    result = None
+    if core is not None:
+        result = core.backtrack_search(
+            n,
+            num_colors,
+            alpha,
+            expansion_limit,
+            edge_start,
+            edge_pos,
+            edge_cw,
+            edge_sw,
+            best_cost,
+            best_pos,
+        )
+    if result is None:  # no core, or it could not allocate
+        result = _python_search(
+            n,
+            num_colors,
+            alpha,
+            expansion_limit,
+            edge_start,
+            edge_pos,
+            edge_cw,
+            edge_sw,
+            best_cost,
+            best_pos,
+        )
+    expansions, completed, best_cost = result
+
+    if statistics is not None:
+        statistics.expansions = expansions
+        statistics.completed = completed
+        statistics.best_cost = best_cost
+    best_by_node = [0] * n
+    for p, node in enumerate(order):
+        best_by_node[node] = best_pos[p]
+    return {node: best_by_node[node] for node in range(n)}
+
+
+def _python_search(
+    n: int,
+    num_colors: int,
+    alpha: float,
+    expansion_limit: int,
+    edge_start: array,
+    edge_pos: array,
+    edge_cw: array,
+    edge_sw: array,
+    best_cost: float,
+    best_pos: array,
+):
+    """The reference DFS over the packed arrays (pure-python core)."""
+    assignment = [-1] * n
+    dirty = 0
+    expansions = 0
+    completed = True
+    max_fresh = num_colors - 1
+    stack = [(0, 0, 0.0, -1)]
+    while stack:
+        depth, color, cost_so_far, max_used = stack.pop()
+        while dirty > depth:
+            dirty -= 1
+            assignment[dirty] = -1
+        limit_color = max_used + 1
+        if limit_color > max_fresh:
+            limit_color = max_fresh
+        if color > limit_color:
+            continue
+        if expansions >= expansion_limit:
+            completed = False
+            break
+        if color + 1 <= limit_color:
+            stack.append((depth, color + 1, cost_so_far, max_used))
+        expansions += 1
+        added = 0.0
+        for i in range(edge_start[depth], edge_start[depth + 1]):
+            other_color = assignment[edge_pos[i]]
+            if other_color < 0:
+                continue
+            if other_color == color:
+                added += edge_cw[i]
+            else:
+                added += alpha * edge_sw[i]
+        new_cost = cost_so_far + added
+        if new_cost >= best_cost:
+            continue
+        assignment[depth] = color
+        dirty = depth + 1
+        if depth + 1 == n:
+            best_cost = new_cost
+            best_pos[:] = array("i", assignment)
+            continue
+        stack.append(
+            (depth + 1, 0, new_cost, max_used if max_used >= color else color)
+        )
+    return expansions, completed, best_cost

@@ -43,6 +43,12 @@ class LinearColoring(ColoringAlgorithm):
         if graph.num_vertices == 0:
             return {}
 
+        from repro.core.kernels import select_kernel
+
+        kernel_module = select_kernel("linear")
+        if kernel_module is not None:
+            return kernel_module.linear_color(graph, self.num_colors, self.options)
+
         # Stage 1: iterative removal of non-critical vertices.
         kernel, stack = peel_low_degree_vertices(graph, self.num_colors)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.backtrack import BacktrackStatistics, search_merged_graph
+from repro.core.backtrack import BacktrackStatistics, run_backtrack_search
 from repro.core.coloring import ColoringAlgorithm
 from repro.core.greedy_coloring import greedy_color_merged
 from repro.core.refinement import refine_coloring
@@ -167,7 +167,7 @@ class SdpColoring(ColoringAlgorithm):
             # conflicts: run the search as an anytime improvement pass.
             expansion_limit = min(expansion_limit, 150_000)
         stats = BacktrackStatistics()
-        node_coloring = search_merged_graph(
+        node_coloring = run_backtrack_search(
             merged,
             self.num_colors,
             self.options.alpha,

@@ -224,7 +224,32 @@ class FlatGraph:
         return flat, cursor
 
     # --------------------------------------------------------------- graph
-    def to_graph(self):
+    def is_canonical(self) -> bool:
+        """True when the buffers are exactly what :func:`flatten_graph` emits.
+
+        Vertex ids strictly increasing (so rank order is sorted-id order)
+        and every edge list a strictly increasing sequence of normalised
+        ``u <= v`` rank pairs (so the lists are sorted and duplicate-free).
+        Only such a snapshot may be re-attached to a rebuilt graph as its
+        memoised flat form: frames arrive over the wire, and memoising a
+        non-canonical frame would poison the canonical hash downstream.
+        """
+        ids = self.vertex_ids
+        for i in range(len(ids) - 1):
+            if ids[i] >= ids[i + 1]:
+                return False
+        for edges in (self.conflict_edges, self.stitch_edges, self.friend_edges):
+            prev_u = prev_v = -1
+            for i in range(0, len(edges), 2):
+                u, v = edges[i], edges[i + 1]
+                if u > v:
+                    return False
+                if u < prev_u or (u == prev_u and v <= prev_v):
+                    return False
+                prev_u, prev_v = u, v
+        return True
+
+    def to_graph(self, memoize: bool = False):
         """Rebuild the original :class:`DecompositionGraph`, bit-for-bit.
 
         The reconstruction round-trips exactly: vertex ids, per-vertex data,
@@ -238,6 +263,11 @@ class FlatGraph:
         self loops — are guaranteed by :meth:`from_bytes`'s rank-range check
         plus the explicit self-loop check below, and are re-checked cheaply
         here for directly-constructed instances.
+
+        With ``memoize=True`` this snapshot is attached to the rebuilt graph
+        as its memoised flat form (guarded by :meth:`is_canonical`), so the
+        worker-side canonical hash and the solve kernels consume the shipped
+        buffers directly instead of re-flattening the rebuilt dicts.
         """
         from repro.graph.decomposition_graph import DecompositionGraph, VertexData
 
@@ -271,6 +301,8 @@ class FlatGraph:
                     edge_set.add((u, v) if u <= v else (v, u))
         except IndexError as exc:
             raise FlatFrameError(f"edge rank outside the vertex range: {exc}") from exc
+        if memoize and self.is_canonical():
+            graph._flat = self
         return graph
 
     def __eq__(self, other: object) -> bool:
@@ -287,18 +319,20 @@ class FlatGraph:
         )
 
 
-def graph_from_frame(data):
+def graph_from_frame(data, memoize: bool = False):
     """Decode one complete flat-graph frame into a graph.
 
     The one materialisation helper every transport consumer uses (binary
     wire jobs, shared-memory payloads, inline pickle-channel frames), so
     the trailing-bytes check can never silently diverge between them.
-    Raises :class:`FlatFrameError` on any malformation.
+    Raises :class:`FlatFrameError` on any malformation.  ``memoize=True``
+    re-attaches the decoded (canonical) frame as the graph's flat form —
+    see :meth:`FlatGraph.to_graph`.
     """
     flat, end = FlatGraph.from_bytes(data)
     if end != len(data):
         raise FlatFrameError(f"graph frame has {len(data) - end} trailing bytes")
-    return flat.to_graph()
+    return flat.to_graph(memoize=memoize)
 
 
 def flatten_graph(graph) -> FlatGraph:

@@ -434,7 +434,9 @@ def job_graph(job: Dict) -> DecompositionGraph:
         frame = read_segment(descriptor)
     if frame is not None:
         try:
-            return graph_from_frame(frame)
+            # memoize=True: node workers hash and solve straight off the
+            # shipped canonical buffers (no re-flattening on the hot path).
+            return graph_from_frame(frame, memoize=True)
         except FlatFrameError as exc:
             raise ComponentWireError(f"invalid 'graph_frame' payload: {exc}") from exc
     return graph_from_wire(job["graph"])

@@ -42,7 +42,10 @@ from repro.graph.flat import _le_bytes
 #: v1 hashed a ``repr``-built string of the relabeled edge tuples; v2 streams
 #: the packed little-endian flat arrays (:mod:`repro.graph.flat`) instead —
 #: the same canonical relabeling, two orders of magnitude less string work.
-_SCHEMA_VERSION = 2
+#: v3 marks the greedy-merged ordering fix (conflict-degree order replacing
+#: group-size order): solver outputs changed for some components, so pre-fix
+#: cached colorings must not be replayed against the fixed solvers.
+_SCHEMA_VERSION = 3
 
 _U32 = struct.Struct("<I")
 

@@ -104,7 +104,10 @@ def _resolve_payload_graph(graph_or_transport) -> DecompositionGraph:
         payload = read_segment(payload)
     from repro.graph.flat import graph_from_frame
 
-    return graph_from_frame(payload)
+    # memoize=True: the decoded frame becomes the rebuilt graph's flat form,
+    # so the worker-side hashing and solve kernels run straight off the
+    # shipped buffers instead of re-flattening.
+    return graph_from_frame(payload, memoize=True)
 
 
 def _solve_component_job(

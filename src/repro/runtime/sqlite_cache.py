@@ -57,7 +57,9 @@ from repro.runtime.cache import ComponentRecord, _shape_matches
 #: scheme (``repro.runtime.hashing._SCHEMA_VERSION == 2``) — v1 rows are keyed
 #: by digests no current caller can ever look up, so they are dead weight and
 #: are dropped wholesale here rather than aged out one eviction at a time.
-SCHEMA_VERSION = 2
+#: v3: solver outputs changed (greedy-merged ordering fix), and the hashing
+#: schema moved to v3 with it — stale rows would replay pre-fix colorings.
+SCHEMA_VERSION = 3
 
 #: Seconds a writer waits on a locked database before giving up.
 BUSY_TIMEOUT_SECONDS = 30.0

@@ -1,6 +1,7 @@
 """Unit tests for the exact backtracking color assignment (Algorithm 1)."""
 
 import itertools
+import random
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.core.backtrack import (
     search_merged_graph,
 )
 from repro.core.evaluation import count_conflicts, count_stitches, evaluate
+from repro.core.greedy_coloring import greedy_color_merged
 from repro.graph.decomposition_graph import DecompositionGraph
 from repro.graph.simplify import build_merged_graph
 
@@ -96,6 +98,111 @@ class TestSearchMergedGraph:
         assert evaluate(g, coloring, 0.1).cost == pytest.approx(
             exact_optimum(g, 3, 0.1)
         )
+
+
+def _deep_component():
+    """A deterministic 16-vertex dense component driving a deep search."""
+    rng = random.Random(2014)
+    n = 16
+    conflict, stitch = [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            r = rng.random()
+            if r < 0.4:
+                conflict.append((i, j))
+            elif r < 0.5:
+                stitch.append((i, j))
+    g = DecompositionGraph.from_edges(conflict, stitch, vertices=range(n))
+    return build_merged_graph(g, [])
+
+
+#: Expansion count of the deep component under K=3 — pinned so the undo-loop
+#: rewrite (dirty-suffix clearing) can never silently change the search tree.
+DEEP_EXPANSIONS = 8786
+DEEP_COLORING = {
+    0: 1, 1: 0, 2: 1, 3: 2, 4: 1, 5: 1, 6: 0, 7: 2,
+    8: 1, 9: 0, 10: 2, 11: 0, 12: 0, 13: 1, 14: 2, 15: 2,
+}
+
+
+class TestUndoRegression:
+    """The dirty-suffix undo must leave the search tree bit-identical."""
+
+    def test_deep_component_coloring_and_expansions_pinned(self):
+        merged = _deep_component()
+        stats = BacktrackStatistics()
+        coloring = search_merged_graph(merged, 3, 0.1, statistics=stats)
+        assert coloring == DEEP_COLORING
+        assert list(coloring.items()) == list(DEEP_COLORING.items())
+        assert stats.expansions == DEEP_EXPANSIONS
+        assert stats.completed
+        assert stats.best_cost == pytest.approx(6.6)
+
+
+class TestBudgetContract:
+    """Edge semantics of ``expansion_limit`` (see the search docstring)."""
+
+    def test_zero_limit_returns_incumbent_without_expanding(self):
+        merged = _deep_component()
+        incumbent = greedy_color_merged(merged, 3, 0.1)
+        stats = BacktrackStatistics()
+        coloring = search_merged_graph(
+            merged, 3, 0.1, expansion_limit=0, statistics=stats
+        )
+        assert stats.expansions == 0
+        assert not stats.completed
+        assert coloring == incumbent
+        _, _, incumbent_cost = merged.coloring_cost(incumbent, 0.1)
+        assert stats.best_cost == pytest.approx(incumbent_cost)
+
+    def test_negative_limit_behaves_like_zero(self):
+        merged = _deep_component()
+        stats = BacktrackStatistics()
+        coloring = search_merged_graph(
+            merged, 3, 0.1, expansion_limit=-5, statistics=stats
+        )
+        assert stats.expansions == 0
+        assert not stats.completed
+        assert coloring == greedy_color_merged(merged, 3, 0.1)
+
+    def test_exact_budget_completes(self):
+        """Exhausting the tree on the final pop must report ``completed``."""
+        merged = _deep_component()
+        stats = BacktrackStatistics()
+        search_merged_graph(
+            merged, 3, 0.1, expansion_limit=DEEP_EXPANSIONS, statistics=stats
+        )
+        assert stats.expansions == DEEP_EXPANSIONS
+        assert stats.completed
+
+    def test_one_below_budget_is_truncated(self):
+        merged = _deep_component()
+        stats = BacktrackStatistics()
+        coloring = search_merged_graph(
+            merged, 3, 0.1, expansion_limit=DEEP_EXPANSIONS - 1, statistics=stats
+        )
+        assert stats.expansions == DEEP_EXPANSIONS - 1
+        assert not stats.completed
+        assert len(coloring) == merged.num_nodes  # anytime: still complete
+
+    def test_reused_statistics_never_stale(self):
+        """Every field is overwritten on every call, including n == 0."""
+        merged = _deep_component()
+        stats = BacktrackStatistics()
+        search_merged_graph(merged, 3, 0.1, statistics=stats)
+        assert stats.expansions == DEEP_EXPANSIONS and stats.completed
+
+        # Reuse on a truncated search: completed/expansions must flip.
+        search_merged_graph(merged, 3, 0.1, expansion_limit=3, statistics=stats)
+        assert stats.expansions == 3
+        assert not stats.completed
+
+        # Reuse on the empty graph: all fields reset, nothing carried over.
+        empty = build_merged_graph(DecompositionGraph(), [])
+        assert search_merged_graph(empty, 3, 0.1, statistics=stats) == {}
+        assert stats.expansions == 0
+        assert stats.completed
+        assert stats.best_cost == 0.0
 
 
 class TestBacktrackColoring:

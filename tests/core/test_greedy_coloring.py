@@ -1,5 +1,9 @@
 """Unit tests for the greedy coloring helpers."""
 
+import random
+
+import pytest
+
 from repro.core.evaluation import count_conflicts, count_stitches
 from repro.core.greedy_coloring import (
     GreedyColoring,
@@ -69,6 +73,34 @@ class TestGreedyColorMerged:
         g = DecompositionGraph()
         merged = build_merged_graph(g, [])
         assert greedy_color_merged(merged, 4, 0.1) == {}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_singleton_groups_match_greedy_color_graph(self, seed):
+        """With no merging, the merged greedy must equal the graph greedy.
+
+        Both walk vertices in (-conflict degree, vertex) order and charge
+        ``conflicts + alpha * mismatched stitches`` per color, so a merged
+        graph of singleton groups is the same problem — any divergence
+        (ordering, int/float mixing) is a bug.  Regression for the PR 6 fix:
+        the merged variant used to order by group size.
+        """
+        rng = random.Random(seed)
+        n = rng.randint(2, 14)
+        conflict, stitch = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                r = rng.random()
+                if r < 0.3:
+                    conflict.append((i, j))
+                elif r < 0.45:
+                    stitch.append((i, j))
+        g = DecompositionGraph.from_edges(conflict, stitch, vertices=range(n))
+        merged = build_merged_graph(g, [])
+        via_merged = {
+            merged.groups[node][0]: color
+            for node, color in greedy_color_merged(merged, 4, 0.1).items()
+        }
+        assert via_merged == greedy_color_graph(g, 4, 0.1)
 
 
 class TestGreedyColoringAlgorithm:

@@ -9,6 +9,12 @@ execution mode reproduces the same numbers.
 
 If a change legitimately alters these numbers (e.g. an algorithmic
 improvement), update the goldens deliberately and say so in the commit.
+
+Deliberate update (PR 6): ``greedy_color_merged`` now orders merged nodes by
+conflict degree (matching ``greedy_color_graph``) instead of group size, which
+changes the backtrack search's warm-start incumbent — three sdp-backtrack
+cells improved or shifted: C499 (1,3)->(1,4), C6288 (14,3)->(14,2),
+C7552 (4,8)->(4,7).
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ TABLE1_GOLDEN = {
     ("C432", "sdp-backtrack"): (0, 7),
     ("C432", "sdp-greedy"): (0, 7),
     ("C432", "linear"): (0, 7),
-    ("C499", "sdp-backtrack"): (1, 3),
+    ("C499", "sdp-backtrack"): (1, 4),
     ("C499", "sdp-greedy"): (1, 3),
     ("C499", "linear"): (1, 3),
 }
@@ -35,9 +41,9 @@ TABLE1_GRAPHS = {"C432": (63, 93, 20), "C499": (79, 146, 22)}
 
 #: (circuit, algorithm) -> (conflicts, stitches) for K=5 at TABLE2_SCALE.
 TABLE2_GOLDEN = {
-    ("C6288", "sdp-backtrack"): (14, 3),
+    ("C6288", "sdp-backtrack"): (14, 2),
     ("C6288", "linear"): (12, 3),
-    ("C7552", "sdp-backtrack"): (4, 8),
+    ("C7552", "sdp-backtrack"): (4, 7),
     ("C7552", "linear"): (4, 8),
 }
 TABLE2_GRAPHS = {"C6288": (125, 454, 17), "C7552": (151, 438, 25)}

@@ -1,0 +1,362 @@
+"""Bit-identical parity between the solve kernels and the reference solvers.
+
+The kernels (``repro.core.kernels``) are pure speed: same colors, same dict
+insertion order, same statistics, on every input, in every mode.  These
+tests sweep randomized graphs through all three kernels against the
+reference implementations, check the dispatch plumbing (env modes, the
+in-process override, the compiled-core contract), and — in the slow tier —
+sweep every component of all fifteen Table 1 circuits.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.backtrack import BacktrackStatistics, search_merged_graph
+from repro.core.greedy_coloring import GreedyColoring
+from repro.core.kernels import (
+    KERNEL_MODE_ENV,
+    active_core,
+    kernel_mode,
+    select_kernel,
+    set_kernel_mode,
+)
+from repro.core.kernels.backtrack_kernel import backtrack_search
+from repro.core.kernels.ccore import compiled_core
+from repro.core.linear_coloring import LinearColoring
+from repro.core.options import AlgorithmOptions
+from repro.errors import ConfigurationError
+from repro.graph.decomposition_graph import DecompositionGraph
+from repro.graph.simplify import build_merged_graph
+
+COMPILED_AVAILABLE = compiled_core() is not None
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED_AVAILABLE, reason="compiled solve core unavailable"
+)
+
+MODES = ["python"] + (["compiled"] if COMPILED_AVAILABLE else [])
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_mode():
+    """Never leak an in-process mode override into other tests."""
+    previous = set_kernel_mode(None)
+    set_kernel_mode(previous)
+    yield
+    set_kernel_mode(previous)
+
+
+def random_graph(rng: random.Random, n: int) -> DecompositionGraph:
+    """Random graph with all three edge kinds (friend edges exercise linear)."""
+    conflict, stitch, friend = [], [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            r = rng.random()
+            if r < 0.25:
+                conflict.append((i, j))
+            elif r < 0.35:
+                stitch.append((i, j))
+            elif r < 0.42:
+                friend.append((i, j))
+    graph = DecompositionGraph.from_edges(conflict, stitch, vertices=range(n))
+    for u, v in friend:
+        graph.add_friend_edge(u, v)
+    return graph
+
+
+def random_merged(rng: random.Random, n: int):
+    """Random merged graph including some multi-member (weighted) nodes."""
+    conflict, stitch = [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            r = rng.random()
+            if r < 0.3:
+                conflict.append((i, j))
+            elif r < 0.42:
+                stitch.append((i, j))
+    graph = DecompositionGraph.from_edges(conflict, stitch, vertices=range(n))
+    pairs = []
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    for a, b in zip(vertices[::2], vertices[1::2]):
+        if rng.random() < 0.3 and not graph.has_conflict_edge(a, b):
+            pairs.append((a, b))
+    return build_merged_graph(graph, pairs)
+
+
+def _assert_same_coloring(reference, candidate, context):
+    assert candidate == reference, context
+    # Dict insertion order is part of the contract: downstream wire encoders
+    # and expand_coloring iterate items() in insertion order.
+    assert list(candidate.items()) == list(reference.items()), context
+
+
+class TestGreedyLinearParity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_randomized_graphs(self, mode, seed):
+        rng = random.Random(seed)
+        for trial in range(12):
+            n = rng.randint(0, 14)
+            graph = random_graph(rng, n)
+            num_colors = rng.choice([3, 4])
+            for algorithm_cls in (GreedyColoring, LinearColoring):
+                algorithm = algorithm_cls(num_colors, AlgorithmOptions())
+                set_kernel_mode("off")
+                reference = algorithm.color(graph)
+                set_kernel_mode(mode)
+                candidate = algorithm.color(graph)
+                _assert_same_coloring(
+                    reference,
+                    candidate,
+                    (algorithm_cls.__name__, mode, seed, trial, n, num_colors),
+                )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_linear_option_toggles(self, mode):
+        """Peer selection / color-friendly / refinement toggles all dispatch."""
+        rng = random.Random(99)
+        graph = random_graph(rng, 12)
+        for peer in (True, False):
+            for friendly in (True, False):
+                for refinement in (True, False):
+                    options = AlgorithmOptions(
+                        use_peer_selection=peer,
+                        use_color_friendly=friendly,
+                        use_post_refinement=refinement,
+                    )
+                    algorithm = LinearColoring(4, options)
+                    set_kernel_mode("off")
+                    reference = algorithm.color(graph)
+                    set_kernel_mode(mode)
+                    candidate = algorithm.color(graph)
+                    _assert_same_coloring(
+                        reference, candidate, (mode, peer, friendly, refinement)
+                    )
+
+
+class TestBacktrackParity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_merged_graphs(self, mode, seed):
+        rng = random.Random(seed)
+        for trial in range(15):
+            n = rng.randint(0, 12)
+            merged = random_merged(rng, n)
+            num_colors = rng.choice([3, 4])
+            limit = rng.choice([0, 1, 5, 50, 2_000_000])
+            reference_stats = BacktrackStatistics()
+            reference = search_merged_graph(
+                merged, num_colors, 0.1,
+                expansion_limit=limit, statistics=reference_stats,
+            )
+            set_kernel_mode(mode)
+            kernel_stats = BacktrackStatistics()
+            candidate = backtrack_search(
+                merged, num_colors, 0.1,
+                expansion_limit=limit, statistics=kernel_stats,
+            )
+            context = (mode, seed, trial, n, num_colors, limit)
+            _assert_same_coloring(reference, candidate, context)
+            assert kernel_stats.expansions == reference_stats.expansions, context
+            assert kernel_stats.completed == reference_stats.completed, context
+            # Bit-identical, not approx: the kernels replicate the reference
+            # float summation order exactly (and the C build forbids FMA).
+            assert kernel_stats.best_cost == reference_stats.best_cost, context
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_initial_incumbent_respected(self, mode):
+        rng = random.Random(5)
+        merged = random_merged(rng, 10)
+        initial = {node: node % 3 for node in range(merged.num_nodes)}
+        reference = search_merged_graph(
+            merged, 3, 0.1, expansion_limit=0, initial=initial
+        )
+        set_kernel_mode(mode)
+        candidate = backtrack_search(
+            merged, 3, 0.1, expansion_limit=0, initial=initial
+        )
+        _assert_same_coloring(reference, candidate, mode)
+
+
+class TestDispatchPlumbing:
+    def test_env_mode_parsing(self, monkeypatch):
+        set_kernel_mode(None)
+        monkeypatch.delenv(KERNEL_MODE_ENV, raising=False)
+        assert kernel_mode() == "auto"
+        monkeypatch.setenv(KERNEL_MODE_ENV, "python")
+        assert kernel_mode() == "python"
+        monkeypatch.setenv(KERNEL_MODE_ENV, "")
+        assert kernel_mode() == "auto"
+        monkeypatch.setenv(KERNEL_MODE_ENV, "fast")
+        with pytest.raises(ConfigurationError):
+            kernel_mode()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_MODE_ENV, "off")
+        set_kernel_mode("python")
+        assert kernel_mode() == "python"
+        assert select_kernel("greedy") is not None
+
+    def test_off_disables_dispatch(self):
+        set_kernel_mode("off")
+        assert select_kernel("greedy") is None
+        assert select_kernel("linear") is None
+        assert select_kernel("backtrack") is None
+        assert active_core() is None
+
+    def test_unknown_algorithm_is_none(self):
+        set_kernel_mode("python")
+        assert select_kernel("sdp") is None
+
+    def test_python_mode_never_uses_core(self):
+        set_kernel_mode("python")
+        assert active_core() is None
+
+    def test_compiled_mode_is_strict(self, monkeypatch, tmp_path):
+        """``compiled`` must raise, not fall back, when no core can build.
+
+        This is what makes the CI compiled leg honest: if the toolchain
+        breaks, the leg fails instead of silently testing the fallback.
+        """
+        from repro.core.kernels import ccore
+
+        monkeypatch.setenv(ccore.BUILD_ENV, "0")
+        monkeypatch.setenv(ccore.CACHE_DIR_ENV, str(tmp_path))
+        ccore.reset()
+        try:
+            set_kernel_mode("compiled")
+            with pytest.raises(ConfigurationError):
+                active_core()
+            set_kernel_mode("auto")
+            assert active_core() is None  # auto degrades silently
+        finally:
+            ccore.reset()
+
+    def test_ambient_mode_is_exercised(self):
+        """Under an ambient env mode (the CI legs), the dispatch must hold.
+
+        With ``REPRO_SOLVE_KERNELS=compiled`` this hard-fails when the core
+        cannot build — ``active_core`` raises — which is exactly the point.
+        """
+        set_kernel_mode(None)
+        mode = kernel_mode()
+        if mode == "compiled":
+            assert active_core() is not None
+        elif mode == "python":
+            assert active_core() is None
+            assert select_kernel("greedy") is not None
+        elif mode == "off":
+            assert select_kernel("greedy") is None
+
+
+class TestCompiledCore:
+    @needs_compiled
+    def test_build_is_cached(self):
+        from repro.core.kernels import ccore
+
+        first = ccore.compiled_core()
+        second = ccore.compiled_core()
+        assert first is second is not None
+
+    @needs_compiled
+    def test_color_cap_falls_back(self):
+        """K beyond the compiled color cap silently uses the python walk."""
+        from repro.core.kernels.greedy_kernel import MAX_COMPILED_COLORS
+
+        rng = random.Random(3)
+        graph = random_graph(rng, 10)
+        algorithm = GreedyColoring(MAX_COMPILED_COLORS + 1, AlgorithmOptions())
+        set_kernel_mode("off")
+        reference = algorithm.color(graph)
+        set_kernel_mode("compiled")
+        candidate = algorithm.color(graph)
+        _assert_same_coloring(reference, candidate, "color-cap")
+
+
+class TestMemoizedFrameParity:
+    """Workers solve straight off shipped frames — results must not change."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_frame_roundtrip_solves_identically(self, mode):
+        from repro.graph.flat import graph_from_frame
+
+        rng = random.Random(17)
+        graph = random_graph(rng, 13)
+        frame = graph.to_arrays().to_bytes()
+        rebuilt = graph_from_frame(frame, memoize=True)
+        assert rebuilt._flat is not None  # decoded frame reused, not re-flattened
+        for algorithm_cls in (GreedyColoring, LinearColoring):
+            algorithm = algorithm_cls(4, AlgorithmOptions())
+            set_kernel_mode("off")
+            reference = algorithm.color(graph)
+            set_kernel_mode(mode)
+            candidate = algorithm.color(rebuilt)
+            _assert_same_coloring(reference, candidate, (algorithm_cls.__name__, mode))
+
+
+@pytest.mark.slow
+class TestCircuitSweep:
+    """Byte-identical colorings over every component of all 15 circuits."""
+
+    SCALE = 0.15
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize(
+        "circuit",
+        [
+            "C432", "C499", "C880", "C1355", "C1908", "C2670", "C3540",
+            "C5315", "C6288", "C7552", "S1488", "S38417", "S35932",
+            "S38584", "S15850",
+        ],
+    )
+    def test_all_components_identical(self, circuit, mode):
+        from repro.bench.factory import circuit_graph
+        from repro.graph.components import connected_components
+
+        graph = circuit_graph(circuit, 4, scale=self.SCALE).graph
+        components = [
+            graph.subgraph(component) for component in connected_components(graph)
+        ]
+        for algorithm_cls in (GreedyColoring, LinearColoring):
+            algorithm = algorithm_cls(4, AlgorithmOptions())
+            for component in components:
+                set_kernel_mode("off")
+                reference = algorithm.color(component)
+                set_kernel_mode(mode)
+                candidate = algorithm.color(component)
+                _assert_same_coloring(
+                    reference,
+                    candidate,
+                    (circuit, algorithm_cls.__name__, mode, component.num_vertices),
+                )
+
+
+class TestEndToEndTable:
+    def test_run_table_identical_off_vs_python(self):
+        """A full (small) experiment run must not depend on the kernel mode."""
+        from repro.experiments.runner import run_table
+
+        def table():
+            return run_table(
+                ["C432"],
+                ["linear", "greedy"],
+                num_colors=4,
+                scale=0.12,
+                name="kernel-parity",
+            )
+
+        set_kernel_mode("off")
+        reference = table()
+        set_kernel_mode("python")
+        candidate = table()
+        for ref_row, cand_row in zip(reference.rows, candidate.rows):
+            assert (ref_row.circuit, ref_row.algorithm) == (
+                cand_row.circuit, cand_row.algorithm,
+            )
+            assert (ref_row.conflicts, ref_row.stitches) == (
+                cand_row.conflicts, cand_row.stitches,
+            ), (ref_row.circuit, ref_row.algorithm)

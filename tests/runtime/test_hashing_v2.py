@@ -29,9 +29,9 @@ from repro.runtime.hashing import (
 #: schema) and re-pin; silent drift here silently severs every persisted
 #: cache and every mixed-version cluster.
 GOLDEN_KEYS = {
-    "triangle-linear-K4": "80475c3cbbf1d395f3f221b850a55cdc1151aadf4442fbcde3b3cff11a8a06db",
-    "stitch-sdp-K4": "92464db04f65324034c7dee98b3458ca95ad79d5c32ce2ab17f89099f0ee3901",
-    "k4-greedy-K5": "9a57c946d6cdc4b983c2e025ae54e29292f96b7142a22b8022c916e35c12794e",
+    "triangle-linear-K4": "c1e886793043a06aa0242138a2b64f75d379feb6f4d5af257a3d9035fdf76a45",
+    "stitch-sdp-K4": "9d3f7aa8f1642ac528aa846179dbfe104ef3719ebc067207280916e7c396fef3",
+    "k4-greedy-K5": "821f0ce081e3387b9d8439e3d8e6c2473d83ce433f951bf70dd468fd7e93cec4",
 }
 
 
@@ -86,8 +86,8 @@ def _v1_key(graph, num_colors, algorithm) -> str:
 
 
 class TestGoldenKeys:
-    def test_schema_version_is_2(self):
-        assert _SCHEMA_VERSION == 2
+    def test_schema_version_is_3(self):
+        assert _SCHEMA_VERSION == 3
 
     @pytest.mark.parametrize("name", sorted(GOLDEN_KEYS))
     def test_keys_pinned(self, name):
