@@ -1,6 +1,6 @@
 """Command line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     repro-decompose decompose INPUT [--algorithm linear --colors 4 --output masks.gds]
     repro-decompose batch INPUT [INPUT ...] [--workers 4 --cache-db cells.db --json report.json]
@@ -9,6 +9,7 @@ Seven subcommands::
     repro-decompose prefill --cache-db cells.db INPUT [INPUT ...]
     repro-decompose stats INPUT
     repro-decompose generate CIRCUIT [--scale 0.35 --output circuit.json]
+    repro-decompose trace --journal DIR [TRACE_ID] [--json]
 
 ``INPUT`` may be a GDSII file (``.gds``/``.gdsii``) or a JSON layout produced
 by this library.  The decompose command writes the masks as a GDSII or JSON
@@ -184,6 +185,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_cli_logging(args: argparse.Namespace, component: str) -> None:
+    from repro.errors import ConfigurationError
+    from repro.obs.logsetup import setup_logging
+
+    try:
+        setup_logging(args.log_level, component)
+    except ValueError as exc:
+        raise ConfigurationError(str(exc)) from exc
+
+
 def _server_config_from(args: argparse.Namespace):
     from repro.service import ServerConfig
 
@@ -197,12 +208,16 @@ def _server_config_from(args: argparse.Namespace):
         cache_max_entries=args.cache_max_entries,
         max_body_bytes=args.max_body_mb * 1024 * 1024,
         force_inline_pool=args.inline_pool,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
+        journal_segment_bytes=args.journal_segment_mb * 1024 * 1024,
     )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import run_server
 
+    _setup_cli_logging(args, "server")
     return run_server(_server_config_from(args))
 
 
@@ -211,12 +226,14 @@ def _cmd_cluster_node(args: argparse.Namespace) -> int:
 
     # A node *is* a decomposition server — the shard role only adds traffic
     # on POST /component, routed here by the coordinators' hash ring.
+    _setup_cli_logging(args, "node")
     return run_server(_server_config_from(args))
 
 
 def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
     from repro.cluster import CoordinatorConfig, run_coordinator
 
+    _setup_cli_logging(args, "coordinator")
     peers = [
         peer.strip()
         for chunk in args.peers
@@ -237,8 +254,49 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
         batch_max_components=args.batch_max_components,
         batch_max_bytes=args.batch_max_bytes,
         max_body_bytes=args.max_body_mb * 1024 * 1024,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
+        journal_segment_bytes=args.journal_segment_mb * 1024 * 1024,
     )
     return run_coordinator(config)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs.journal import read_journal
+    from repro.obs.trace import assemble_trace, format_trace_tree
+
+    try:
+        events = read_journal(args.journal)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read journal {args.journal!r}: {exc}"
+        ) from exc
+    if not args.trace_id:
+        # No id: list the journaled traces, most recent last.
+        seen: dict = {}
+        for event in events:
+            trace_id = event.get("trace_id")
+            if trace_id:
+                seen.setdefault(trace_id, []).append(event)
+        for trace_id, trace_events in seen.items():
+            trace = assemble_trace(trace_events)
+            print(
+                f"{trace_id}  {trace['status']:<10} "
+                f"{len(trace_events)} events"
+            )
+        print(f"{len(seen)} traces in {args.journal}")
+        return 0
+    matching = [e for e in events if e.get("trace_id") == args.trace_id]
+    if not matching:
+        print(f"error: no journaled events for trace {args.trace_id}", file=sys.stderr)
+        return 1
+    trace = assemble_trace(matching)
+    if args.json:
+        print(json.dumps(trace, indent=2, sort_keys=True))
+    else:
+        print(format_trace_tree(trace))
+    return 0
 
 
 def _cmd_prefill(args: argparse.Namespace) -> int:
@@ -341,6 +399,38 @@ def _add_server_flags(parser: argparse.ArgumentParser, default_port: int) -> Non
         "--inline-pool",
         action="store_true",
         help="run jobs on threads in-process instead of worker processes",
+    )
+    _add_observability_flags(parser)
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """Tracing/journal/logging flags shared by every long-running role."""
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append lifecycle events to a JSONL journal in DIR and enable "
+            "request tracing plus GET /trace and GET /watch (default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        action="store_true",
+        help="fsync every journal append (durability over throughput)",
+    )
+    parser.add_argument(
+        "--journal-segment-mb",
+        type=int,
+        default=4,
+        metavar="MB",
+        help="rotate journal segments beyond this many MiB",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        metavar="LEVEL",
+        help="structured key=value log level: debug, info, warning, error",
     )
 
 
@@ -570,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="largest accepted request body in MiB",
     )
+    _add_observability_flags(coordinator)
     coordinator.set_defaults(func=_cmd_cluster_coordinator)
 
     prefill = subparsers.add_parser(
@@ -614,6 +705,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for component coloring (1 = serial, 0 = one per CPU)",
     )
     prefill.set_defaults(func=_cmd_prefill)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect a server/coordinator event journal (list or show traces)",
+        description=(
+            "Read the append-only event journal a '--journal DIR' server or "
+            "coordinator wrote.  Without TRACE_ID, lists every journaled "
+            "trace; with one, prints the assembled span tree (per-stage "
+            "offsets and durations) and lifecycle events."
+        ),
+    )
+    trace.add_argument(
+        "--journal", required=True, metavar="DIR", help="journal directory to read"
+    )
+    trace.add_argument(
+        "trace_id", nargs="?", default=None, help="trace id to assemble and print"
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="print the assembled trace as JSON"
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     stats = subparsers.add_parser("stats", help="print layout statistics")
     stats.add_argument("input", help="input layout (.gds or .json)")

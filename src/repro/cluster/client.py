@@ -46,13 +46,21 @@ class ClusterClient(ServiceClient):
         path: str,
         payload: Optional[Dict] = None,
         address: Optional[Address] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
         if address is not None:
-            return super()._request(method, path, payload, address=address)
+            return super()._request(
+                method, path, payload, address=address, trace_id=trace_id
+            )
         last: Optional[ServiceError] = None
         for candidate in self.addresses:
             try:
-                return super()._request(method, path, payload, address=candidate)
+                # The trace id rides the failover too: a request that moves
+                # to the next coordinator keeps one identity end to end, so
+                # journals on either coordinator stitch into one story.
+                return super()._request(
+                    method, path, payload, address=candidate, trace_id=trace_id
+                )
             except ServiceError as exc:
                 if exc.status != 0:
                     raise  # an HTTP answer, not an unreachable coordinator

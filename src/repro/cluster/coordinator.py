@@ -44,6 +44,7 @@ overload contract end-to-end.
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -66,6 +67,8 @@ from repro.graph.construction import build_decomposition_graph
 from repro.graph.decomposition_graph import DecompositionGraph
 from repro.cluster.membership import Membership, NoNodesAvailable
 from repro.graph.flat import FlatGraph
+from repro.obs.journal import DEFAULT_SEGMENT_BYTES
+from repro.obs.observer import ObsConfig, Observer
 from repro.runtime.component_io import (
     ComponentErrorEntry,
     ComponentSolve,
@@ -78,11 +81,19 @@ from repro.runtime.hashing import canonical_component_key
 from repro.runtime.wire_binary import encode_components_frame, frame_size
 from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.http import DEFAULT_MAX_BODY_BYTES, HttpRequest, error_body, json_body
+from repro.service.http import (
+    DEFAULT_MAX_BODY_BYTES,
+    TRACE_HEADER,
+    HttpRequest,
+    error_body,
+    json_body,
+)
 from repro.service.metrics import (
     METRICS_CONTENT_TYPE,
+    build_info_family,
     counter_family,
     gauge_family,
+    observability_families,
     render_metrics,
 )
 from repro.service.protocol import (
@@ -92,6 +103,8 @@ from repro.service.protocol import (
     parse_decompose_request,
     result_to_payload,
 )
+
+logger = logging.getLogger("repro.cluster.coordinator")
 
 
 def _estimate_json_wire_bytes(flat: FlatGraph) -> int:
@@ -189,6 +202,17 @@ class CoordinatorConfig:
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     #: Seconds a connection may idle before sending a complete request.
     header_timeout: float = 30.0
+    #: Event-journal directory; ``None`` disables tracing, the journal and
+    #: the ``/trace``//``/watch`` endpoints (the near-zero-cost default).
+    journal_dir: Optional[str] = None
+    #: fsync every journal append (durability over throughput).
+    journal_fsync: bool = False
+    #: Journal segment rotation threshold in bytes.
+    journal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: Per-subscriber ``GET /watch`` queue bound (drop-oldest beyond it).
+    watch_queue_limit: int = 256
+    #: Seconds between SSE heartbeat comments on an idle ``GET /watch``.
+    watch_heartbeat_seconds: float = 10.0
 
 
 class ClusterCoordinator(BaseHttpServer):
@@ -228,6 +252,7 @@ class ClusterCoordinator(BaseHttpServer):
                 "reroutes": 0,
                 "node_requests": 0,
                 "wire_downgrades": 0,
+                "frame_downgrades": 0,
             }
         )
         self._routed: Dict[str, int] = {
@@ -241,10 +266,25 @@ class ClusterCoordinator(BaseHttpServer):
         #: JSON-only peers are budgeted by the (larger) JSON estimate, so a
         #: downgrade mid-request can never inflate a chunk past the caps.
         self._binary_nodes: set = set()
+        #: Peers that speak binary but rejected the *v2* frame (they predate
+        #: the trace field): later batches to them are encoded as v1 frames
+        #: with the trace id riding only the header.  Both frame versions
+        #: have identical size, so chunk budgeting is unaffected.
+        self._v1_frame_nodes: set = set()
         #: Guards the counters mutated from fan-out threads.
         self._counter_lock = threading.Lock()
         self._jobs_executor: Optional[ThreadPoolExecutor] = None
         self._fanout_executor: Optional[ThreadPoolExecutor] = None
+        self.obs = Observer(
+            ObsConfig(
+                journal_dir=config.journal_dir,
+                journal_fsync=config.journal_fsync,
+                journal_segment_bytes=config.journal_segment_bytes,
+                watch_queue_limit=config.watch_queue_limit,
+                watch_heartbeat_seconds=config.watch_heartbeat_seconds,
+                role="coordinator",
+            )
+        )
 
     # ------------------------------------------------------------ lifecycle
     async def _on_start(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -288,23 +328,43 @@ class ClusterCoordinator(BaseHttpServer):
         if route == ("GET", "/stats"):
             return 200, json_body(self._stats()), None
         if route == ("GET", "/metrics"):
-            text = coordinator_metrics_text(self._stats())
+            text = coordinator_metrics_text(
+                self._stats(), extra_families=self._metrics_extras()
+            )
             return 200, text.encode("utf-8"), {"Content-Type": METRICS_CONTENT_TYPE}
         if route == ("GET", "/ring"):
             return 200, json_body(self._ring_view()), None
+        observability = await self._dispatch_observability(request)
+        if observability is not None:
+            return observability
         if route == ("POST", "/decompose"):
             return await self._serve_jobs(request, batch=False)
         if route == ("POST", "/batch"):
             return await self._serve_jobs(request, batch=True)
-        known = ("/healthz", "/stats", "/metrics", "/ring", "/decompose", "/batch")
+        known = (
+            "/healthz",
+            "/stats",
+            "/metrics",
+            "/ring",
+            "/decompose",
+            "/batch",
+            "/watch",
+        )
         if route[1] in known:
             return (*error_body(405, f"{request.method} not allowed on {route[1]}"), None)
         return (*error_body(404, f"no such endpoint {route[1]!r}"), None)
+
+    def _trace_headers(self, ctx) -> Optional[Dict[str, str]]:
+        """Response headers advertising the request's trace id (or none)."""
+        return {TRACE_HEADER: ctx.trace_id} if ctx is not None else None
 
     async def _serve_jobs(
         self, request: HttpRequest, batch: bool
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         loop = asyncio.get_running_loop()
+        kind = "batch" if batch else "decompose"
+        ctx = self.obs.begin(request.headers.get(TRACE_HEADER.lower()))
+        self.obs.emit(ctx, "received", kind=kind)
 
         def _decode_jobs() -> List[Dict]:
             payload = request.json()
@@ -313,14 +373,32 @@ class ClusterCoordinator(BaseHttpServer):
             return [parse_decompose_request(payload)]
 
         try:
-            jobs = await loop.run_in_executor(None, _decode_jobs)
+            with self.obs.span("parse", ctx):
+                jobs = await loop.run_in_executor(None, _decode_jobs)
         except ProtocolError as exc:
             self._counters["invalid"] += 1
-            return (*error_body(400, str(exc)), None)
+            self.obs.emit(ctx, "failed", status=400, message=str(exc))
+            if ctx is not None:
+                logger.warning(
+                    "bad %s request: %s", kind, exc, extra={"trace_id": ctx.trace_id}
+                )
+            return (*error_body(400, str(exc)), self._trace_headers(ctx))
+        if ctx is not None:
+            for job in jobs:
+                job["_obs_ctx"] = ctx
 
-        results, error = await self._execute_jobs(jobs)
+        self.obs.emit(ctx, "divided", layouts=len(jobs))
+        with self.obs.span("execute", ctx):
+            results, error = await self._execute_jobs(jobs)
         if error is not None:
-            return error
+            status = error[0]
+            self.obs.emit(ctx, "failed", status=status)
+            if ctx is not None:
+                logger.warning(
+                    "%s request failed with %d", kind, status,
+                    extra={"trace_id": ctx.trace_id},
+                )
+            return error[0], error[1], {**(error[2] or {}), **(self._trace_headers(ctx) or {})}
         self._counters["served"] += len(jobs)
 
         def _encode_response() -> bytes:
@@ -333,7 +411,15 @@ class ClusterCoordinator(BaseHttpServer):
             }
             return json_body({"items": results, "aggregate": aggregate})
 
-        return 200, await loop.run_in_executor(None, _encode_response), None
+        body = await loop.run_in_executor(None, _encode_response)
+        self.obs.emit(
+            ctx,
+            "merged",
+            layouts=len(results),
+            conflicts=sum(r.get("conflicts", 0) for r in results),
+            stitches=sum(r.get("stitches", 0) for r in results),
+        )
+        return 200, body, self._trace_headers(ctx)
 
     # ----------------------------------------------------- job control hooks
     async def _submit_jobs(self, loop, jobs: List[Dict], release_slot):
@@ -385,6 +471,7 @@ class ClusterCoordinator(BaseHttpServer):
         exactly, which is what keeps cluster output byte-identical to a
         direct :class:`Decomposer` run.
         """
+        ctx = job.pop("_obs_ctx", None)
         start_total = time.perf_counter()
         layout = Layout.from_dict(job["layout"])
         options = build_options(
@@ -392,14 +479,15 @@ class ClusterCoordinator(BaseHttpServer):
             algorithm=job["algorithm"],
             min_spacing=job.get("min_spacing"),
         )
-        construction = build_decomposition_graph(
-            layout, layer=job["layer"], options=options.construction
-        )
+        with self.obs.span("build", ctx, parent="execute"):
+            construction = build_decomposition_graph(
+                layout, layer=job["layer"], options=options.construction
+            )
         graph = construction.graph
         report = DivisionReport()
         report.num_vertices = graph.num_vertices
         start_color = time.perf_counter()
-        coloring = self._color_graph(graph, options, report)
+        coloring = self._color_graph(graph, options, report, ctx)
         color_seconds = time.perf_counter() - start_color
         check_complete(graph, coloring, options.num_colors)
         solution = DecompositionSolution(
@@ -428,47 +516,60 @@ class ClusterCoordinator(BaseHttpServer):
         graph: DecompositionGraph,
         options: DecomposerOptions,
         report: DivisionReport,
+        ctx=None,
     ) -> Dict[int, int]:
         """Divide, route, and deterministically merge one graph's components."""
         if graph.num_vertices == 0:
             return {}
-        if options.division.independent_components:
-            components = connected_components(graph)
-        else:
-            components = [graph.vertices()]
+        with self.obs.span("divide", ctx, parent="execute"):
+            if options.division.independent_components:
+                components = connected_components(graph)
+            else:
+                components = [graph.vertices()]
         report.num_connected_components = len(components)
 
-        subgraphs: Dict[int, DecompositionGraph] = {}
-        groups: Dict[str, List[int]] = {}
-        for index, component in enumerate(components):
-            subgraph = graph.subgraph(component)
-            key = canonical_component_key(
-                subgraph,
-                options.num_colors,
-                options.algorithm,
-                options.algorithm_options,
-                options.division,
-            )
-            subgraphs[index] = subgraph
-            groups.setdefault(key, []).append(index)
+        with self.obs.span("hash", ctx, parent="execute"):
+            subgraphs: Dict[int, DecompositionGraph] = {}
+            groups: Dict[str, List[int]] = {}
+            for index, component in enumerate(components):
+                subgraph = graph.subgraph(component)
+                key = canonical_component_key(
+                    subgraph,
+                    options.num_colors,
+                    options.algorithm,
+                    options.algorithm_options,
+                    options.division,
+                )
+                subgraphs[index] = subgraph
+                groups.setdefault(key, []).append(index)
 
-        # One flat-array form per distinct component, flattened once (the
-        # same memoised snapshot the canonical key above was streamed from)
-        # — reused across chunks, re-routes and the JSON fallback.  Ordered
-        # by first appearance so chunking (and therefore request traffic)
-        # is deterministic.
-        ordered_keys = sorted(groups, key=lambda key: groups[key][0])
-        flats = {key: subgraphs[groups[key][0]].to_arrays() for key in ordered_keys}
-        solves = self._solve_components(
-            ordered_keys, flats, options.num_colors, options.algorithm
+            # One flat-array form per distinct component, flattened once (the
+            # same memoised snapshot the canonical key above was streamed
+            # from) — reused across chunks, re-routes and the JSON fallback.
+            # Ordered by first appearance so chunking (and therefore request
+            # traffic) is deterministic.
+            ordered_keys = sorted(groups, key=lambda key: groups[key][0])
+            flats = {
+                key: subgraphs[groups[key][0]].to_arrays() for key in ordered_keys
+            }
+        self.obs.emit(
+            ctx,
+            "divided",
+            components=len(components),
+            distinct=len(ordered_keys),
         )
+        with self.obs.span("route", ctx, parent="execute"):
+            solves = self._solve_components(
+                ordered_keys, flats, options.num_colors, options.algorithm, ctx
+            )
 
-        coloring: Dict[int, int] = {}
-        for key, indices in sorted(groups.items(), key=lambda kv: kv[1][0]):
-            solve = solves[key]
-            for index in indices:
-                coloring.update(solve.coloring_for(subgraphs[index]))
-                report.merge_from(solve.report)
+        with self.obs.span("merge", ctx, parent="execute"):
+            coloring: Dict[int, int] = {}
+            for key, indices in sorted(groups.items(), key=lambda kv: kv[1][0]):
+                solve = solves[key]
+                for index in indices:
+                    coloring.update(solve.coloring_for(subgraphs[index]))
+                    report.merge_from(solve.report)
         return coloring
 
     # ------------------------------------------------------- batched routing
@@ -478,6 +579,7 @@ class ClusterCoordinator(BaseHttpServer):
         flats: Dict[str, FlatGraph],
         colors: int,
         algorithm: str,
+        ctx=None,
     ) -> Dict[str, ComponentSolve]:
         """Micro-batch the distinct components to their owner nodes.
 
@@ -487,6 +589,8 @@ class ClusterCoordinator(BaseHttpServer):
         rebalanced ring while every already-returned solve is kept.
         """
         limit = self.config.max_reroutes or max(1, len(self.membership))
+        if ctx is not None:
+            ctx.register_work(len(ordered_keys))
         binary_sizes = {key: frame_size(flat, key) for key, flat in flats.items()}
         # Unconfirmed peers may be sent either encoding (binary first, JSON
         # after a downgrade), so their budget must dominate both: the JSON
@@ -517,7 +621,7 @@ class ClusterCoordinator(BaseHttpServer):
             assert self._fanout_executor is not None
             futures = [
                 self._fanout_executor.submit(
-                    self._send_batch, node_id, chunk, flats, colors, algorithm
+                    self._send_batch, node_id, chunk, flats, colors, algorithm, ctx
                 )
                 for node_id, chunk in tasks
             ]
@@ -557,6 +661,14 @@ class ClusterCoordinator(BaseHttpServer):
                         first_error = NodeRequestError(
                             node_id, outcome.status, outcome.message
                         )
+                completed = sum(
+                    1 for item in outcomes if isinstance(item, ComponentSolve)
+                )
+                if ctx is not None and completed:
+                    done, total = ctx.advance(completed)
+                    self.obs.emit(
+                        ctx, "progress", solved=done, total=total, node=node_id
+                    )
             if first_error is not None:
                 raise first_error
             pending = retry
@@ -592,27 +704,60 @@ class ClusterCoordinator(BaseHttpServer):
         flats: Dict[str, FlatGraph],
         colors: int,
         algorithm: str,
+        trace_id: Optional[str] = None,
     ) -> Dict:
-        """POST one chunk, binary-first with a sticky JSON downgrade.
+        """POST one chunk, binary-first with sticky frame/JSON downgrades.
 
-        New peers get the packed v2 frame (each component's canonical key
-        rides along, so the node never re-hashes).  A peer that answers a
-        binary request with 400/415 is a pre-v2 node trying to read the
-        frame as JSON: it is remembered as JSON-only for its lifetime and
-        the chunk is re-sent in the v1 schema — one wasted round trip per
-        old node, ever, and mixed-version clusters stay correct.
+        New peers get the packed binary frame (each component's canonical
+        key rides along, so the node never re-hashes); a traced request
+        encodes the v2-with-trace-field variant unless this peer is already
+        known to speak only v1 frames.  Two distinct rejections downgrade,
+        each sticky per node and renegotiated on liveness transitions:
+
+        * ``400 unsupported components frame version`` — a binary-capable
+          node that predates the v2 trace field.  The chunk is re-sent as a
+          v1 frame with the trace id riding only the header, and the node
+          is remembered as v1-frame-only (one wasted round trip, ever).
+        * ``400 not valid JSON`` / ``415`` — a pre-binary node that pushed
+          the frame through its JSON parser.  The chunk is re-sent in the
+          JSON v1 schema and the node is remembered as JSON-only.
         """
         with self._counter_lock:
             binary_first = node_id not in self._json_only_nodes
+            frame_version = 1 if node_id in self._v1_frame_nodes else None
             if binary_first:
                 self._counters["node_requests"] += 1
         if binary_first:
+            entries = [(key, flats[key]) for key in chunk]
             frame = encode_components_frame(
-                [(key, flats[key]) for key in chunk], colors, algorithm
+                entries, colors, algorithm,
+                trace_id=trace_id, force_version=frame_version,
             )
             try:
-                response = client.components_binary(frame)
+                response = client.components_binary(frame, trace_id=trace_id)
             except ServiceError as exc:
+                if self._peer_rejected_frame_version(exc):
+                    # Binary-capable peer, pre-trace frame decoder: retry
+                    # once as a v1 frame (identical bytes minus the trace
+                    # field) and pin the node to v1 frames.  Idempotent
+                    # under concurrent chunks, like the JSON downgrade.
+                    with self._counter_lock:
+                        if node_id not in self._v1_frame_nodes:
+                            self._v1_frame_nodes.add(node_id)
+                            self._counters["frame_downgrades"] += 1
+                        self._counters["node_requests"] += 1
+                    if trace_id:
+                        logger.info(
+                            "node %s rejected v2 frame; pinned to v1 frames",
+                            node_id, extra={"trace_id": trace_id},
+                        )
+                    frame = encode_components_frame(
+                        entries, colors, algorithm, force_version=1
+                    )
+                    response = client.components_binary(frame, trace_id=trace_id)
+                    with self._counter_lock:
+                        self._binary_nodes.add(node_id)
+                    return response
                 if not self._peer_rejected_binary(exc):
                     raise
                 with self._counter_lock:
@@ -640,10 +785,11 @@ class ClusterCoordinator(BaseHttpServer):
                 colors,
                 algorithm,
                 keys=list(piece),
+                trace_id=trace_id,
             )
             with self._counter_lock:
                 self._counters["node_requests"] += 1
-            response = client.components(payload)
+            response = client.components(payload, trace_id=trace_id)
             piece_results = response.get("results")
             if not isinstance(piece_results, list):
                 raise ComponentWireError(
@@ -664,6 +810,7 @@ class ClusterCoordinator(BaseHttpServer):
         with self._counter_lock:
             self._binary_nodes.discard(node_id)
             self._json_only_nodes.discard(node_id)
+            self._v1_frame_nodes.discard(node_id)
 
     @staticmethod
     def _peer_rejected_binary(exc: ServiceError) -> bool:
@@ -680,6 +827,20 @@ class ClusterCoordinator(BaseHttpServer):
             return True
         return exc.status == 400 and "not valid JSON" in str(exc)
 
+    @staticmethod
+    def _peer_rejected_frame_version(exc: ServiceError) -> bool:
+        """Did this error mean "binary yes, but not *this* frame version"?
+
+        A binary-capable node that predates the v2 trace field decodes the
+        magic fine and rejects the version byte with exactly this message;
+        it deserves a v1-frame retry, not the JSON fallback (which would
+        forfeit the packed encoding forever).
+        """
+        return (
+            exc.status == 400
+            and "unsupported components frame version" in str(exc)
+        )
+
     def _send_batch(
         self,
         node_id: str,
@@ -687,13 +848,19 @@ class ClusterCoordinator(BaseHttpServer):
         flats: Dict[str, FlatGraph],
         colors: int,
         algorithm: str,
+        ctx=None,
     ) -> List[object]:
         """Ship one micro-batch to one node; runs on a fan-out thread."""
         client = self._clients[node_id]
+        trace_id = ctx.trace_id if ctx is not None else None
         try:
-            response = self._post_components(
-                client, node_id, chunk, flats, colors, algorithm
-            )
+            with self.obs.span(
+                "node_rpc", ctx, parent="route",
+                detail=f"{node_id} x{len(chunk)}",
+            ):
+                response = self._post_components(
+                    client, node_id, chunk, flats, colors, algorithm, trace_id
+                )
         except ServiceError as exc:
             if exc.status == 503:
                 raise NodeBusyError(node_id, exc.retry_after) from exc
@@ -733,6 +900,12 @@ class ClusterCoordinator(BaseHttpServer):
         return outcomes
 
     # ------------------------------------------------------------ telemetry
+    def _metrics_extras(self) -> List:
+        """Observability families appended to the counter-based exposition."""
+        families = [build_info_family("coordinator")]
+        families.extend(observability_families(self.obs))
+        return families
+
     def _healthz(self) -> Dict[str, object]:
         return {
             "status": "draining" if self._draining else "ok",
@@ -774,7 +947,7 @@ class ClusterCoordinator(BaseHttpServer):
         }
 
 
-def coordinator_metrics_text(stats: Dict) -> str:
+def coordinator_metrics_text(stats: Dict, extra_families: Optional[List] = None) -> str:
     """Render a coordinator ``/stats`` snapshot as Prometheus text."""
     coordinator: Dict = stats.get("coordinator", {})
     nodes: Dict = stats.get("nodes", {})
@@ -822,6 +995,12 @@ def coordinator_metrics_text(stats: Dict) -> str:
             [({}, coordinator.get("wire_downgrades", 0))],
         ),
         counter_family(
+            "repro_coordinator_frame_downgrades_total",
+            "Binary-capable peers pinned to v1 component frames after "
+            "rejecting the v2 trace field (one per pre-trace node).",
+            [({}, coordinator.get("frame_downgrades", 0))],
+        ),
+        counter_family(
             "repro_coordinator_rebalances_total",
             "Consistent-hash ring rebuilds caused by liveness transitions.",
             [({}, membership.get("rebalances", 0))],
@@ -853,6 +1032,8 @@ def coordinator_metrics_text(stats: Dict) -> str:
             [({}, coordinator.get("uptime_seconds", 0.0))],
         ),
     ]
+    if extra_families:
+        families.extend(extra_families)
     return render_metrics(families)
 
 

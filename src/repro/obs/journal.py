@@ -1,0 +1,196 @@
+"""Append-only JSONL event journal with segment rotation and recovery.
+
+Layout: ``<directory>/events-000001.jsonl``, ``events-000002.jsonl``, …
+Each line is one JSON event stamped with a monotonically increasing
+``seq`` and a wall-clock ``ts``. A segment rotates once it crosses
+``max_segment_bytes``. On open, a torn final line (crash mid-write) is
+truncated away and ``seq`` resumes after the last durable event, so a
+journal survives kill -9 with at most the unflushed tail lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+_SEGMENT_RE = re.compile(r"^events-(\d{6})\.jsonl$")
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+def _segment_name(index: int) -> str:
+    return "events-%06d.jsonl" % index
+
+
+class EventJournal:
+    """Size-capped, crash-tolerant append-only JSONL journal."""
+
+    def __init__(
+        self,
+        directory: str,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        fsync: bool = False,
+    ) -> None:
+        self.directory = os.path.abspath(directory)
+        self.max_segment_bytes = max(4096, int(max_segment_bytes))
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._segment_index = 0
+        self._segment_bytes = 0
+        self._seq = 0
+        self.appended = 0
+        self.recovered_bytes = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self._open_tail()
+
+    # -- open/recovery ----------------------------------------------------
+
+    def _segment_indices(self) -> List[int]:
+        out = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, _segment_name(index))
+
+    def _recover_segment(self, path: str) -> int:
+        """Truncate a torn tail; return the last seq seen in the segment."""
+        last_seq = 0
+        good_end = 0
+        with open(path, "rb") as fh:
+            offset = 0
+            for raw in fh:
+                offset += len(raw)
+                if not raw.endswith(b"\n"):
+                    break
+                line = raw.strip()
+                if not line:
+                    good_end = offset
+                    continue
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                good_end = offset
+                if isinstance(event, dict) and isinstance(event.get("seq"), int):
+                    last_seq = max(last_seq, event["seq"])
+        size = os.path.getsize(path)
+        if good_end < size:
+            self.recovered_bytes += size - good_end
+            with open(path, "rb+") as fh:
+                fh.truncate(good_end)
+        return last_seq
+
+    def _open_tail(self) -> None:
+        indices = self._segment_indices()
+        for index in indices:
+            self._seq = max(self._seq, self._recover_segment(self._segment_path(index)))
+        self._segment_index = indices[-1] if indices else 1
+        path = self._segment_path(self._segment_index)
+        self._fh = open(path, "ab")
+        self._segment_bytes = os.path.getsize(path)
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            if self._fh is None:
+                raise RuntimeError("journal is closed")
+            self._seq += 1
+            record = dict(event)
+            record["seq"] = self._seq
+            record.setdefault("ts", round(time.time(), 6))
+            line = json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            ) + b"\n"
+            self._fh.write(line)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._segment_bytes += len(line)
+            self.appended += 1
+            if self._segment_bytes >= self.max_segment_bytes:
+                self._fh.close()
+                self._segment_index += 1
+                self._fh = open(self._segment_path(self._segment_index), "ab")
+                self._segment_bytes = 0
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+
+    # -- reading ----------------------------------------------------------
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """All durable events in seq order (skips any torn tail)."""
+        for index in self._segment_indices():
+            try:
+                fh = open(self._segment_path(index), "rb")
+            except OSError:
+                continue
+            with fh:
+                for raw in fh:
+                    if not raw.endswith(b"\n"):
+                        break
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        break
+                    if isinstance(event, dict):
+                        yield event
+
+    def events_for(self, trace_id: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events() if e.get("trace_id") == trace_id]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "directory": self.directory,
+                "segment_index": self._segment_index,
+                "segment_bytes": self._segment_bytes,
+                "seq": self._seq,
+                "appended": self.appended,
+                "recovered_bytes": self.recovered_bytes,
+                "fsync": self.fsync,
+            }
+
+
+def read_journal(directory: str) -> List[Dict[str, Any]]:
+    """Read a journal directory without opening it for writing."""
+    events: List[Dict[str, Any]] = []
+    if not os.path.isdir(directory):
+        return events
+    names = sorted(
+        name for name in os.listdir(directory) if _SEGMENT_RE.match(name)
+    )
+    for name in names:
+        with open(os.path.join(directory, name), "rb") as fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                if isinstance(event, dict):
+                    events.append(event)
+    return events

@@ -1,0 +1,76 @@
+"""Structured ``key=value`` logging for the service CLIs.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` diagnostics in the
+server and coordinator with standard :mod:`logging` records rendered as
+``ts=... level=... component=... msg=... key=value ...``. Records may
+attach a ``trace_id`` via ``extra={"trace_id": ...}`` and it is rendered
+as a first-class field.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Any
+
+_RESERVED = frozenset(
+    (
+        "name", "msg", "args", "levelname", "levelno", "pathname", "filename",
+        "module", "exc_info", "exc_text", "stack_info", "lineno", "funcName",
+        "created", "msecs", "relativeCreated", "thread", "threadName",
+        "processName", "process", "message", "taskName", "asctime",
+    )
+)
+
+
+def _quote(value: Any) -> str:
+    text = str(value)
+    if not text or any(ch in text for ch in (" ", '"', "=", "\n")):
+        return '"%s"' % text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    def __init__(self, component: str) -> None:
+        super().__init__()
+        self.component = component
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            "ts=%s" % time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)),
+            "level=%s" % record.levelname.lower(),
+            "component=%s" % self.component,
+            "logger=%s" % record.name,
+            "msg=%s" % _quote(record.getMessage()),
+        ]
+        trace_id = getattr(record, "trace_id", None)
+        if trace_id:
+            parts.append("trace_id=%s" % trace_id)
+        for key, value in sorted(record.__dict__.items()):
+            if key in _RESERVED or key == "trace_id" or key.startswith("_"):
+                continue
+            parts.append("%s=%s" % (key, _quote(value)))
+        out = " ".join(parts)
+        if record.exc_info:
+            out = "%s exc=%s" % (out, _quote(self.formatException(record.exc_info)))
+        return out
+
+
+def setup_logging(level: str = "info", component: str = "repro") -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy for key=value stderr output."""
+    numeric = getattr(logging, str(level).upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError("unknown log level: %r" % (level,))
+    root = logging.getLogger("repro")
+    root.setLevel(numeric)
+    # Idempotent: replace our own handlers, leave foreign ones alone.
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(KeyValueFormatter(component))
+    handler._repro_obs = True
+    root.addHandler(handler)
+    root.propagate = False
+    return root

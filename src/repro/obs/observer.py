@@ -1,0 +1,221 @@
+"""Per-server observability facade.
+
+One :class:`Observer` instance lives on each server (decomposition node
+or cluster coordinator) and owns the pieces the request path talks to:
+the per-stage latency histograms (always on — the cost is one dict/bucket
+update per span), and, only when a journal directory is configured, the
+trace-id minting, the JSONL event journal and the ``GET /watch`` hub.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.obs.hist import HistogramVec
+from repro.obs.journal import DEFAULT_SEGMENT_BYTES, EventJournal
+from repro.obs.trace import (
+    Span,
+    TERMINAL_EVENTS,
+    TraceContext,
+    assemble_trace,
+    new_trace_id,
+    valid_trace_id,
+)
+from repro.obs.watch import WatchHub, sse_comment, sse_event
+
+#: Stages each role times; seeding them keeps ``/metrics`` histogram
+#: series present (at zero) from the first scrape, so dashboards never
+#: have to special-case an empty family.
+SERVER_STAGES = ("parse", "execute", "queue_wait", "cache_lookup", "solve", "encode")
+COORDINATOR_STAGES = (
+    "parse",
+    "execute",
+    "build",
+    "divide",
+    "hash",
+    "route",
+    "node_rpc",
+    "merge",
+)
+
+
+@dataclass
+class ObsConfig:
+    journal_dir: Optional[str] = None
+    journal_fsync: bool = False
+    journal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    watch_queue_limit: int = 256
+    watch_heartbeat_seconds: float = 10.0
+    role: str = "server"
+
+
+class Observer:
+    """Tracing + histograms + journal + watch hub for one server."""
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.enabled = config.journal_dir is not None
+        self.stages = HistogramVec("stage")
+        stage_names = (
+            COORDINATOR_STAGES if config.role == "coordinator" else SERVER_STAGES
+        )
+        for stage in stage_names:
+            self.stages.labels(stage)
+        self.journal: Optional[EventJournal] = None
+        self.hub: Optional[WatchHub] = None
+        if self.enabled:
+            self.journal = EventJournal(
+                config.journal_dir,
+                max_segment_bytes=config.journal_segment_bytes,
+                fsync=config.journal_fsync,
+            )
+            self.hub = WatchHub(config.watch_queue_limit)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def open(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self.hub is not None:
+            self.hub.bind(loop)
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- tracing ----------------------------------------------------------
+
+    def begin(
+        self,
+        supplied: Optional[str] = None,
+        started_at: Optional[float] = None,
+    ) -> Optional[TraceContext]:
+        """Mint (or adopt) a trace context; ``None`` when tracing is off."""
+        if not self.enabled:
+            return None
+        trace_id = supplied if valid_trace_id(supplied) else new_trace_id()
+        return TraceContext(trace_id, t0=started_at)
+
+    def span(
+        self,
+        stage: str,
+        ctx: Optional[TraceContext] = None,
+        parent: Optional[str] = None,
+        detail: Optional[str] = None,
+        sink: Optional[Dict[str, float]] = None,
+    ) -> Span:
+        return Span(stage, ctx=ctx, hist=self.stages, parent=parent, detail=detail, sink=sink)
+
+    # -- events -----------------------------------------------------------
+
+    def emit(
+        self,
+        ctx: Optional[Union[TraceContext, str]],
+        event: str,
+        **fields: Any,
+    ) -> None:
+        """Journal + fan out one lifecycle event (no-op when disabled)."""
+        if ctx is None or self.journal is None:
+            return
+        record: Dict[str, Any] = {"event": event, "role": self.config.role}
+        if isinstance(ctx, TraceContext):
+            if event in TERMINAL_EVENTS:
+                if not ctx.mark_finished():
+                    return  # a terminal event already journaled this trace
+            elif ctx.finished:
+                return  # late event from a background thread; keep it out
+            record["trace_id"] = ctx.trace_id
+            if event in TERMINAL_EVENTS:
+                record.setdefault("spans", ctx.spans())
+                record.setdefault("wall_seconds", ctx.wall_seconds())
+        else:
+            record["trace_id"] = ctx
+        record.update(fields)
+        stamped = self.journal.append(record)
+        if self.hub is not None:
+            self.hub.publish(stamped)
+
+    # -- read side --------------------------------------------------------
+
+    def trace_payload(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        if self.journal is None:
+            return None
+        events = self.journal.events_for(trace_id)
+        if not events:
+            return None
+        return assemble_trace(events)
+
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"enabled": self.enabled}
+        if self.journal is not None:
+            out["journal"] = self.journal.stats()
+        if self.hub is not None:
+            out["watch"] = {
+                "subscribers": self.hub.subscriber_count,
+                "published": self.hub.published,
+                "dropped": self.hub.dropped,
+            }
+        return out
+
+    # -- GET /watch -------------------------------------------------------
+
+    def watch_runner(self, server) -> Any:
+        """Build the SSE stream coroutine for one ``GET /watch`` subscriber.
+
+        ``server`` is the owning BaseHttpServer: the stream ends when the
+        server starts draining (so graceful shutdown is never held hostage
+        by an idle watcher) or the client disconnects.
+        """
+        hub = self.hub
+        heartbeat = max(0.5, float(self.config.watch_heartbeat_seconds))
+
+        async def run(writer: asyncio.StreamWriter) -> None:
+            sub = hub.subscribe()
+            try:
+                writer.write(b"retry: 2000\n\n")
+                await writer.drain()
+                while True:
+                    drain_started = getattr(server, "_drain_started", None)
+                    if getattr(server, "_draining", False):
+                        writer.write(sse_comment("server draining; goodbye"))
+                        await writer.drain()
+                        return
+                    for event in hub.drain(sub):
+                        writer.write(sse_event(event))
+                    await writer.drain()
+                    waiters = [asyncio.ensure_future(sub.event.wait())]
+                    if drain_started is not None:
+                        waiters.append(asyncio.ensure_future(drain_started.wait()))
+                    done, pending = await asyncio.wait(
+                        waiters,
+                        timeout=heartbeat,
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    for task in pending:
+                        task.cancel()
+                    if not done:
+                        writer.write(sse_comment("heartbeat"))
+                        await writer.drain()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            finally:
+                hub.unsubscribe(sub)
+
+        return run
+
+
+def journal_hint_body() -> bytes:
+    """404 body explaining how to enable the journal-backed endpoints."""
+    return json.dumps(
+        {
+            "error": {
+                "status": 404,
+                "message": (
+                    "event journal is disabled; start the server with "
+                    "--journal DIR to enable /trace and /watch"
+                ),
+            }
+        },
+        sort_keys=True,
+    ).encode("utf-8")

@@ -1,0 +1,131 @@
+"""Journal replay and lifecycle consistency checker.
+
+``python -m repro.obs.replay --journal DIR --check`` replays a journal
+directory and verifies the lifecycle invariants the rest of the system
+relies on:
+
+* global ``seq`` strictly increases across segments;
+* each trace starts with a ``received`` event;
+* each trace has at most one terminal event (``merged``/``completed``/
+  ``failed``) and nothing after it;
+* ``progress`` events are monotonic and never exceed their total;
+* a second read of the directory yields the identical event sequence
+  (the journal is deterministic at rest).
+
+Exit status is non-zero when ``--check`` finds violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.obs.journal import read_journal
+from repro.obs.trace import TERMINAL_EVENTS
+
+
+def check_events(events: List[Dict[str, Any]]) -> List[str]:
+    problems: List[str] = []
+    last_seq = 0
+    state: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        seq = event.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            problems.append(
+                "seq not strictly increasing: %r after %d" % (seq, last_seq)
+            )
+        else:
+            last_seq = seq
+        name = event.get("event")
+        trace_id = event.get("trace_id")
+        if not isinstance(name, str):
+            problems.append("event %r missing event name" % (seq,))
+            continue
+        if not isinstance(trace_id, str):
+            # Non-trace events (e.g. dropped markers never reach the journal)
+            # are unexpected on disk.
+            problems.append("seq %s: event %r has no trace_id" % (seq, name))
+            continue
+        trace = state.setdefault(
+            trace_id, {"started": False, "terminal": None, "progress": -1}
+        )
+        if trace["terminal"] is not None:
+            problems.append(
+                "trace %s: event %r after terminal %r"
+                % (trace_id, name, trace["terminal"])
+            )
+        if name == "received":
+            if trace["started"]:
+                problems.append("trace %s: duplicate received" % trace_id)
+            trace["started"] = True
+        elif not trace["started"]:
+            problems.append(
+                "trace %s: event %r before received" % (trace_id, name)
+            )
+            trace["started"] = True
+        if name == "progress":
+            solved = event.get("solved")
+            total = event.get("total")
+            if not isinstance(solved, int) or not isinstance(total, int):
+                problems.append("trace %s: malformed progress event" % trace_id)
+            else:
+                if solved < trace["progress"]:
+                    problems.append(
+                        "trace %s: progress went backwards (%d -> %d)"
+                        % (trace_id, trace["progress"], solved)
+                    )
+                if solved > total:
+                    problems.append(
+                        "trace %s: progress %d exceeds total %d"
+                        % (trace_id, solved, total)
+                    )
+                trace["progress"] = max(trace["progress"], solved)
+        if name in TERMINAL_EVENTS:
+            trace["terminal"] = name
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.replay",
+        description="Replay and check a repro event journal.",
+    )
+    parser.add_argument("--journal", required=True, help="journal directory")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify lifecycle invariants; exit non-zero on violation",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print events as JSON lines"
+    )
+    args = parser.parse_args(argv)
+
+    events = read_journal(args.journal)
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+
+    if args.check:
+        problems = check_events(events)
+        reread = read_journal(args.journal)
+        if reread != events:
+            problems.append("journal is not deterministic across reads")
+        if problems:
+            for problem in problems:
+                print("replay: FAIL %s" % problem, file=sys.stderr)
+            return 1
+        traces = {e.get("trace_id") for e in events if e.get("trace_id")}
+        print(
+            "replay: OK %d events, %d traces, invariants hold"
+            % (len(events), len(traces))
+        )
+    else:
+        print("replay: %d events" % len(events))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Live event fan-out for ``GET /watch`` (Server-Sent Events).
+
+The hub decouples journal appends (which may happen on executor threads)
+from the asyncio writers streaming SSE to subscribers. Each subscriber
+owns a bounded deque; a slow consumer loses the oldest events and is
+told so with a ``dropped`` marker event rather than stalling the
+pipeline or growing memory without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class WatchSubscriber:
+    __slots__ = ("queue", "dropped_pending", "event")
+
+    def __init__(self, limit: int) -> None:
+        self.queue: deque = deque(maxlen=max(1, limit))
+        self.dropped_pending = 0
+        self.event = asyncio.Event()
+
+
+class WatchHub:
+    """Thread-safe publish, asyncio-side consume."""
+
+    def __init__(self, queue_limit: int = 256) -> None:
+        self.queue_limit = max(1, int(queue_limit))
+        self._subscribers: List[WatchSubscriber] = []
+        self._lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.published = 0
+        self.dropped = 0
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    def subscribe(self) -> WatchSubscriber:
+        sub = WatchSubscriber(self.queue_limit)
+        with self._lock:
+            self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: WatchSubscriber) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Safe from any thread once bound to a loop."""
+        loop = self._loop
+        with self._lock:
+            subscribers = list(self._subscribers)
+            self.published += 1
+            for sub in subscribers:
+                if len(sub.queue) == sub.queue.maxlen:
+                    sub.queue.popleft()
+                    sub.dropped_pending += 1
+                    self.dropped += 1
+                sub.queue.append(event)
+        if loop is not None and not loop.is_closed():
+            for sub in subscribers:
+                try:
+                    loop.call_soon_threadsafe(sub.event.set)
+                except RuntimeError:
+                    break
+
+    def wake_all(self) -> None:
+        """Wake every subscriber (used when the server starts draining)."""
+        loop = self._loop
+        with self._lock:
+            subscribers = list(self._subscribers)
+        if loop is None or loop.is_closed():
+            return
+        for sub in subscribers:
+            try:
+                loop.call_soon_threadsafe(sub.event.set)
+            except RuntimeError:
+                break
+
+    def drain(self, sub: WatchSubscriber) -> List[Dict[str, Any]]:
+        """Pop pending events, prefixing a ``dropped`` marker if any were lost."""
+        with self._lock:
+            events: List[Dict[str, Any]] = []
+            if sub.dropped_pending:
+                events.append({"event": "dropped", "count": sub.dropped_pending})
+                sub.dropped_pending = 0
+            while sub.queue:
+                events.append(sub.queue.popleft())
+        sub.event.clear()
+        return events
+
+
+def sse_event(event: Dict[str, Any]) -> bytes:
+    """Serialize one journal event as an SSE frame."""
+    name = str(event.get("event", "message"))
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return ("event: %s\ndata: %s\n\n" % (name, data)).encode("utf-8")
+
+
+def sse_comment(text: str) -> bytes:
+    return (": %s\n\n" % text).encode("utf-8")

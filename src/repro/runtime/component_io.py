@@ -274,6 +274,7 @@ def components_request(
     colors: int,
     algorithm: str,
     keys: Optional[List[Optional[str]]] = None,
+    trace_id: Optional[str] = None,
 ) -> Dict:
     """Build one ``POST /components`` request from pre-serialised graph wires.
 
@@ -281,7 +282,8 @@ def components_request(
     each distinct component once and reuses the wire across re-routes, so
     this function only wraps them in the batch envelope.  ``keys`` optionally
     attaches each component's canonical cache key so a v2 node skips
-    re-hashing (pre-v2 nodes ignore the extra field).
+    re-hashing; ``trace_id`` threads the coordinator's trace through the
+    JSON wire (pre-v2 nodes ignore both extra fields).
     """
     entries: List[Dict] = []
     for position, wire in enumerate(graphs):
@@ -289,7 +291,10 @@ def components_request(
         if keys is not None and keys[position]:
             entry["key"] = keys[position]
         entries.append(entry)
-    return {"components": entries, "colors": colors, "algorithm": algorithm}
+    payload = {"components": entries, "colors": colors, "algorithm": algorithm}
+    if trace_id:
+        payload["trace_id"] = trace_id
+    return payload
 
 
 class ComponentErrorEntry:
@@ -461,6 +466,8 @@ def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
     defensive re-hash only happens on the miss path, where the solve it
     precedes dwarfs it.
     """
+    import time
+
     graph = job_graph(job)
     colors = job.get("colors", 4)
     algorithm = job.get("algorithm", "sdp-backtrack")
@@ -472,6 +479,7 @@ def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
         )
 
     key = job.get("key") or local_key()
+    lookup_started = time.perf_counter()
     record = cache.lookup(key, graph) if cache is not None else None
     if record is None and cache is not None and job.get("key"):
         # The shipped key missed (cold cache — or a key that does not match
@@ -480,7 +488,9 @@ def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
         key = local_key()
         if key != job["key"]:
             record = cache.lookup(key, graph)
+    lookup_seconds = time.perf_counter() - lookup_started
     cache_hit = record is not None
+    solve_seconds = 0.0
     if record is not None:
         coloring = record.coloring
         report = record.report
@@ -491,12 +501,17 @@ def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
 
         colorer = make_colorer(algorithm, colors, options.algorithm_options)
         report = DivisionReport()
+        solve_started = time.perf_counter()
         coloring = color_component(graph, colorer, options.division, report)
+        solve_seconds = time.perf_counter() - solve_started
         report = report.component_delta()
         solver_timeouts = int(getattr(colorer, "timeouts", 0))
         if cache is not None:
             cache.store(key, graph, coloring, report, solver_timeouts=solver_timeouts)
     order = canonical_vertex_order(graph)
+    # "timings" is node-local observability: the server feeds it into its
+    # stage histograms and trace spans, then strips it before encoding the
+    # wire response, so response bytes are identical with tracing on or off.
     return {
         "key": key,
         "vertices": graph.num_vertices,
@@ -504,4 +519,5 @@ def solve_component_job(job: Dict, cache: Optional[ComponentCache]) -> Dict:
         "coloring": [coloring[vertex] for vertex in order],
         "report": report_to_wire(report),
         "solver_timeouts": solver_timeouts,
+        "timings": {"cache_lookup": lookup_seconds, "solve": solve_seconds},
     }

@@ -85,6 +85,9 @@ class ScheduleOutcome:
     shm_components: int = 0
     #: True when a pool was requested but had to be abandoned.
     pool_fallback: bool = False
+    #: Wall seconds per pipeline stage (``divide``/``hash``/``solve``),
+    #: filled by :meth:`ComponentScheduler.run` for trace spans upstream.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 def _resolve_payload_graph(graph_or_transport) -> DecompositionGraph:
@@ -184,20 +187,28 @@ class ComponentScheduler:
         configuration, independent of worker count, completion order and
         cache state.
         """
+        import time
+
         outcome = ScheduleOutcome()
         outcome.report.num_vertices = graph.num_vertices
         if graph.num_vertices == 0:
             return outcome
 
+        started = time.perf_counter()
         if self.division.independent_components:
             components = connected_components(graph)
         else:
             components = [graph.vertices()]
         outcome.report.num_connected_components = len(components)
+        outcome.stage_seconds["divide"] = time.perf_counter() - started
 
+        started = time.perf_counter()
         subgraphs, pending = self._probe_components(graph, components, outcome)
+        outcome.stage_seconds["hash"] = time.perf_counter() - started
         if pending:
+            started = time.perf_counter()
             self._execute(subgraphs, pending, outcome)
+            outcome.stage_seconds["solve"] = time.perf_counter() - started
         return outcome
 
     def close(self) -> None:

@@ -24,7 +24,15 @@ channel, which preserves correctness and still skips object-graph pickling.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
+
+from repro.obs.hist import Histogram
+
+#: Latency of writing a frame into a fresh segment / reading one back,
+#: process-wide (each worker process sees only its own reads).
+WRITE_HISTOGRAM = Histogram()
+READ_HISTOGRAM = Histogram()
 
 #: Frames smaller than this ship inline through the pickle channel even when
 #: shared memory works: a segment costs a handful of syscalls (shm_open,
@@ -67,10 +75,12 @@ class ShmSegment:
     def __init__(self, payload: bytes) -> None:
         from multiprocessing import shared_memory
 
+        started = time.perf_counter()
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
         self._shm.buf[: len(payload)] = payload
         self.name = self._shm.name
         self.size = len(payload)
+        WRITE_HISTOGRAM.observe(time.perf_counter() - started)
 
     def descriptor(self) -> Dict[str, object]:
         """The picklable reference a worker resolves with :func:`read_segment`."""
@@ -121,6 +131,9 @@ def read_segment(descriptor: Dict) -> bytes:
     probes this exact path, so platforms where segments are not reachable
     this way fall back to inline frames before a worker ever gets here.
     """
+    started = time.perf_counter()
     name = str(descriptor["name"])
     with open(f"/dev/shm/{name.lstrip('/')}", "rb") as handle:
-        return handle.read(int(descriptor["size"]))
+        payload = handle.read(int(descriptor["size"]))
+    READ_HISTOGRAM.observe(time.perf_counter() - started)
+    return payload

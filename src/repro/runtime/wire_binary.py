@@ -21,13 +21,23 @@ Content negotiation is by ``Content-Type``:
 Frame layout (all integers little-endian)::
 
     <4s magic  b"RPC2">
-    <B  frame version (1)>
+    <B  frame version (1 or 2)>
     <I  colors>
     <B  algorithm length> <algorithm utf-8>
+    version >= 2 only:
+        <B  trace id length> <trace id ascii>   # 0 = request is untraced
     <I  component count>
     per component:
         <B  key length> <canonical key ascii>   # 0 = sender did not hash
         <I  graph frame length> <flat-graph frame>   # repro.graph.flat
+
+Version 2 adds only the optional trace-id field.  The encoder emits a v1
+envelope whenever no trace id is supplied, so untraced traffic is
+bit-identical to the pre-v2 wire and old peers never see a version they
+cannot parse.  A traced coordinator talking to a v1-only node gets a 400
+naming the unsupported version; the coordinator retries that node with v1
+frames (trace id carried in the ``X-Repro-Trace-Id`` header instead) and
+remembers the downgrade for the node's lifetime.
 
 Each component's canonical cache key rides along so the node never re-hashes
 a graph the coordinator already hashed for routing — the "hash once per
@@ -48,8 +58,10 @@ from repro.runtime.component_io import ComponentWireError
 COMPONENTS_V2_CONTENT_TYPE = "application/x-repro-components-v2"
 
 _MAGIC = b"RPC2"
-#: Bump when the envelope layout changes (the graph frames version separately).
-FRAME_VERSION = 1
+#: Oldest envelope layout every node understands.
+BASE_FRAME_VERSION = 1
+#: Newest envelope layout this build speaks (v2 = v1 + optional trace id).
+FRAME_VERSION = 2
 
 _ENVELOPE = struct.Struct("<4sBIB")  # magic, version, colors, algorithm length
 _U32 = struct.Struct("<I")
@@ -60,20 +72,36 @@ def encode_components_frame(
     entries: List[Tuple[Optional[str], FlatGraph]],
     colors: int,
     algorithm: str,
+    trace_id: Optional[str] = None,
+    force_version: Optional[int] = None,
 ) -> bytes:
-    """Encode one ``POST /components`` v2 request body.
+    """Encode one ``POST /components`` binary request body.
 
     ``entries`` pairs each component's canonical key (``None`` when the
-    sender did not compute one) with its flat-array graph.
+    sender did not compute one) with its flat-array graph.  Untraced
+    requests encode as v1 (bit-identical to the pre-trace wire); a
+    ``trace_id`` selects v2.  ``force_version=1`` drops the trace field
+    for peers that rejected v2 (the sticky frame downgrade).
     """
     algorithm_utf8 = algorithm.encode("utf-8")
     if len(algorithm_utf8) > 255:
         raise ComponentWireError(f"algorithm name too long: {algorithm!r}")
+    version = force_version
+    if version is None:
+        version = FRAME_VERSION if trace_id else BASE_FRAME_VERSION
+    if version not in (BASE_FRAME_VERSION, FRAME_VERSION):
+        raise ComponentWireError(f"cannot encode components frame version {version}")
     parts: List[bytes] = [
-        _ENVELOPE.pack(_MAGIC, FRAME_VERSION, colors, len(algorithm_utf8)),
+        _ENVELOPE.pack(_MAGIC, version, colors, len(algorithm_utf8)),
         algorithm_utf8,
-        _U32.pack(len(entries)),
     ]
+    if version >= 2:
+        trace_ascii = (trace_id or "").encode("ascii")
+        if len(trace_ascii) > 255:
+            raise ComponentWireError(f"trace id too long: {trace_id!r}")
+        parts.append(_U8.pack(len(trace_ascii)))
+        parts.append(trace_ascii)
+    parts.append(_U32.pack(len(entries)))
     for key, flat in entries:
         key_ascii = (key or "").encode("ascii")
         if len(key_ascii) > 255:
@@ -116,11 +144,13 @@ class ComponentFrame:
 
 def decode_components_frame(
     data: bytes,
-) -> Tuple[int, str, List[ComponentFrame]]:
-    """Decode one v2 request body into ``(colors, algorithm, components)``.
+) -> Tuple[int, str, Optional[str], List[ComponentFrame]]:
+    """Decode a binary request body into ``(colors, algorithm, trace_id, components)``.
 
-    A malformed *envelope* (bad magic/version, truncated header or entry
-    framing) raises :class:`ComponentWireError` — the whole request is
+    Accepts both the v1 and v2 envelopes; ``trace_id`` is ``None`` for v1
+    bodies and for v2 bodies whose trace field is empty.  A malformed
+    *envelope* (bad magic/version, truncated header or entry framing)
+    raises :class:`ComponentWireError` — the whole request is
     unintelligible and answers ``400``.  A malformed *graph frame inside an
     intact entry* becomes that entry's :attr:`ComponentFrame.error` so the
     node fails only that component, mirroring the JSON path's per-entry
@@ -135,10 +165,10 @@ def decode_components_frame(
         raise ComponentWireError(
             f"bad components frame magic {bytes(magic)!r} (expected {_MAGIC!r})"
         )
-    if version != FRAME_VERSION:
+    if not BASE_FRAME_VERSION <= version <= FRAME_VERSION:
         raise ComponentWireError(
             f"unsupported components frame version {version} "
-            f"(this node speaks version {FRAME_VERSION})"
+            f"(this node speaks versions {BASE_FRAME_VERSION}-{FRAME_VERSION})"
         )
     cursor = _ENVELOPE.size
     if cursor + algorithm_length > len(view):
@@ -148,6 +178,21 @@ def decode_components_frame(
     except UnicodeDecodeError as exc:
         raise ComponentWireError(f"invalid algorithm name bytes: {exc}") from exc
     cursor += algorithm_length
+    trace_id: Optional[str] = None
+    if version >= 2:
+        if cursor + _U8.size > len(view):
+            raise ComponentWireError("components frame truncated before trace id")
+        (trace_length,) = _U8.unpack_from(view, cursor)
+        cursor += _U8.size
+        if cursor + trace_length > len(view):
+            raise ComponentWireError("components frame truncated in trace id")
+        try:
+            trace_id = (
+                bytes(view[cursor : cursor + trace_length]).decode("ascii") or None
+            )
+        except UnicodeDecodeError as exc:
+            raise ComponentWireError(f"trace id is not ascii: {exc}") from exc
+        cursor += trace_length
     if cursor + _U32.size > len(view):
         raise ComponentWireError("components frame truncated before component count")
     (count,) = _U32.unpack_from(view, cursor)
@@ -195,4 +240,4 @@ def decode_components_frame(
         raise ComponentWireError(
             f"components frame has {len(view) - cursor} trailing bytes"
         )
-    return colors, algorithm, components
+    return colors, algorithm, trace_id, components

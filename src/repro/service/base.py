@@ -50,10 +50,13 @@ from repro.service.http import (
     HttpError,
     HttpRequest,
     MAX_HEADER_BYTES,
+    StreamResponse,
     error_body,
+    json_body,
     read_request,
     wants_keep_alive,
     write_response,
+    write_stream_head,
 )
 
 #: One request's terminal error response: (status, body, extra headers).
@@ -88,6 +91,13 @@ class BaseHttpServer:
         self._idle_writers: set = set()
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
+        #: Set by :meth:`shutdown` *before* in-flight connections are
+        #: awaited, so long-lived streams (``GET /watch``) can end promptly
+        #: instead of deadlocking the drain.
+        self._drain_started: Optional[asyncio.Event] = None
+        #: Optional :class:`repro.obs.observer.Observer` attached by the
+        #: subclass before :meth:`start`; ``None`` = no observability.
+        self.obs = None
         self._started_at = 0.0
         self._inflight = 0
         self._counters = {
@@ -224,11 +234,50 @@ class BaseHttpServer:
                 _finish_one()
         return list(results), None
 
+    # -------------------------------------------------- observability routes
+    async def _dispatch_observability(self, request: HttpRequest):
+        """Serve the shared journal-backed routes; ``None`` when unmatched.
+
+        ``GET /trace/<id>`` returns the assembled span tree of one journaled
+        request; ``GET /watch`` upgrades to a live SSE stream.  Both answer
+        404 with an enablement hint when the server runs without a journal.
+        Subclasses call this from ``_dispatch`` before their 404 fallthrough.
+        """
+        if request.method != "GET":
+            return None
+        is_trace = request.path.startswith("/trace/")
+        is_watch = request.path == "/watch"
+        if not is_trace and not is_watch:
+            return None
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            from repro.obs.observer import journal_hint_body
+
+            return 404, journal_hint_body(), None
+        if is_trace:
+            trace_id = request.path[len("/trace/") :]
+            # Journal reads hit disk: keep them off the event loop.
+            payload = await asyncio.get_running_loop().run_in_executor(
+                None, obs.trace_payload, trace_id
+            )
+            if payload is None:
+                status, body = error_body(404, f"no journaled events for trace {trace_id!r}")
+                return status, body, None
+            return 200, json_body(payload), None
+        return StreamResponse(
+            status=200,
+            content_type="text/event-stream",
+            run=obs.watch_runner(self),
+        )
+
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> Tuple[str, int]:
         """Start the backend and the accept loop; return the bound (host, port)."""
         loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
+        self._drain_started = asyncio.Event()
+        if self.obs is not None:
+            self.obs.open(loop)
         await self._on_start(loop)
         try:
             self._server = await asyncio.start_server(
@@ -259,6 +308,13 @@ class BaseHttpServer:
         if self._draining:
             return
         self._draining = True
+        # Wake long-lived streams *before* awaiting connections: a /watch
+        # subscriber is an in-flight connection that only ends once it
+        # notices the drain.
+        if self._drain_started is not None:
+            self._drain_started.set()
+        if self.obs is not None and self.obs.hub is not None:
+            self.obs.hub.wake_all()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -271,6 +327,8 @@ class BaseHttpServer:
         if self._connections:
             await asyncio.gather(*list(self._connections), return_exceptions=True)
         await self._on_shutdown(asyncio.get_running_loop())
+        if self.obs is not None:
+            self.obs.close()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -314,7 +372,17 @@ class BaseHttpServer:
                     return
                 self._counters["received"] += 1
                 try:
-                    status, body, extra = await self._dispatch(request)
+                    result = await self._dispatch(request)
+                    if isinstance(result, StreamResponse):
+                        await write_stream_head(
+                            writer,
+                            result.status,
+                            result.content_type,
+                            result.extra_headers,
+                        )
+                        await result.run(writer)
+                        return
+                    status, body, extra = result
                 except HttpError as exc:
                     self._counters["invalid"] += 1
                     status, body = error_body(exc.status, exc.message)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.geometry.layout import Layout
+from repro.service.http import TRACE_HEADER
 
 #: One server address.
 Address = Tuple[str, int]
@@ -178,8 +179,16 @@ class ServiceClient:
             if response.will_close:
                 connection.close()
                 pool.pop(address, None)
+            # Thread-local so concurrent fan-out threads don't clobber each
+            # other's ids; None when the server answered without one.
+            self._local.last_trace_id = response.headers.get(TRACE_HEADER)
             return response.status, response.headers, raw
         raise AssertionError("unreachable")  # pragma: no cover
+
+    @property
+    def last_trace_id(self) -> Optional[str]:
+        """Trace id the calling thread's most recent response advertised."""
+        return getattr(self._local, "last_trace_id", None)
 
     def _request(
         self,
@@ -187,9 +196,12 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict] = None,
         address: Optional[Address] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
         body = None
         headers = {"Accept": "application/json", "Connection": "keep-alive"}
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -243,12 +255,19 @@ class ServiceClient:
         colors: Optional[int] = None,
         algorithm: Optional[str] = None,
         min_spacing: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
-        """Decompose one layout; returns the response payload dict."""
+        """Decompose one layout; returns the response payload dict.
+
+        ``trace_id`` lets a caller supply its own request identity; without
+        one, a tracing-enabled server mints an id and echoes it back in the
+        response header (see :attr:`last_trace_id`).
+        """
         return self._request(
             "POST", "/decompose", self._job_payload(
                 layout, gds_bytes, name, layer, colors, algorithm, min_spacing
-            )
+            ),
+            trace_id=trace_id,
         )
 
     def decompose_batch(
@@ -284,18 +303,19 @@ class ServiceClient:
         """
         return self._request("POST", "/component", payload)
 
-    def components(self, payload: Dict) -> Dict:
+    def components(self, payload: Dict, trace_id: Optional[str] = None) -> Dict:
         """Solve a component micro-batch (``POST /components``).
 
         ``payload`` is a
         :func:`repro.runtime.component_io.components_request` dict; the
         response's ``results`` list is aligned with the request and carries
-        a per-component solve or error envelope.
+        a per-component solve or error envelope.  ``trace_id`` additionally
+        rides the trace header — the channel pre-tracing servers ignore.
         """
-        return self._request("POST", "/components", payload)
+        return self._request("POST", "/components", payload, trace_id=trace_id)
 
-    def components_binary(self, body: bytes) -> Dict:
-        """Solve a component micro-batch shipped as a v2 binary frame.
+    def components_binary(self, body: bytes, trace_id: Optional[str] = None) -> Dict:
+        """Solve a component micro-batch shipped as a binary frame.
 
         ``body`` is an
         :func:`repro.runtime.wire_binary.encode_components_frame` blob; the
@@ -310,10 +330,64 @@ class ServiceClient:
             "Connection": "keep-alive",
             "Content-Type": COMPONENTS_V2_CONTENT_TYPE,
         }
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
         status, response_headers, raw = self._request_bytes(
             "POST", "/components", body, headers, (self.host, self.port)
         )
         return self._json_response(status, response_headers, raw)
+
+    def trace(self, trace_id: str) -> Dict:
+        """Fetch one request's assembled trace tree (``GET /trace/<id>``)."""
+        return self._request("GET", f"/trace/{trace_id}")
+
+    def watch_events(
+        self,
+        max_events: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Stream ``GET /watch`` journal events as ``(event, payload)`` pairs.
+
+        A generator over the server's SSE feed on a dedicated connection
+        (the stream is close-delimited, so it cannot share the keep-alive
+        pool).  Heartbeat comments and ``retry:`` hints are filtered out;
+        iteration ends after ``max_events`` events, when the server drains,
+        or when the socket times out.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+        try:
+            connection.request(
+                "GET", "/watch", headers={"Accept": "text/event-stream"}
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                self._json_response(response.status, response.headers, raw)
+                raise ServiceError(response.status, raw.decode(errors="replace"))
+            delivered = 0
+            event_name: Optional[str] = None
+            data_lines: List[str] = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # heartbeat / informational comment
+                if not line:  # blank line terminates one SSE frame
+                    if data_lines:
+                        payload = json.loads("\n".join(data_lines))
+                        yield event_name, payload
+                        delivered += 1
+                        if max_events is not None and delivered >= max_events:
+                            return
+                    event_name, data_lines = None, []
+                    continue
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+        finally:
+            connection.close()
 
     # ------------------------------------------------------------- helpers
     @staticmethod

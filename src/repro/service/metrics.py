@@ -1,20 +1,26 @@
-"""Prometheus text exposition of the serving counters.
+"""Prometheus text exposition of the serving counters and histograms.
 
 ``GET /metrics`` on the decomposition server and on the cluster coordinator
 renders the same numbers ``GET /stats`` reports as JSON, in the Prometheus
 text format (version 0.0.4) so a stock Prometheus/VictoriaMetrics scraper
-can watch a farm without a custom exporter.  Only counters and gauges are
-exposed — no histograms, which keeps the endpoint allocation-free and the
-module stdlib-only.
+can watch a farm without a custom exporter.  Counters and gauges come from
+the stats snapshots; histogram families (``repro_stage_duration_seconds``
+and friends) are fed live by :mod:`repro.obs` span instrumentation and
+rendered with standard ``_bucket``/``_sum``/``_count`` semantics.
 
 :func:`render_metrics` is the shared formatter; :func:`server_metrics_text`
 maps a :meth:`DecompositionServer._stats` snapshot onto metric families (the
 coordinator has its own mapping in :mod:`repro.cluster.coordinator`).
+:func:`lint_metrics_text` is a minimal exposition-format parser used by the
+test suite to keep every payload well-formed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs.hist import HistogramSnapshot, format_float
 
 #: Content type of the text exposition format.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -22,8 +28,9 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 Number = Union[int, float]
 #: One sample: (label dict, value).
 Sample = Tuple[Mapping[str, str], Number]
-#: One family: (name, type, help, samples).
-MetricFamily = Tuple[str, str, str, Sequence[Sample]]
+#: One family: (name, type, help, samples).  For ``histogram`` families the
+#: sample values are :class:`HistogramSnapshot` objects instead of numbers.
+MetricFamily = Tuple[str, str, str, Sequence]
 
 
 def _escape_label(value: str) -> str:
@@ -35,7 +42,16 @@ def _format_value(value: Number) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    return format_float(value)
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
 
 
 def render_metrics(families: Iterable[MetricFamily]) -> str:
@@ -44,14 +60,24 @@ def render_metrics(families: Iterable[MetricFamily]) -> str:
     for name, mtype, help_text, samples in families:
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {mtype}")
-        for labels, value in samples:
-            if labels:
-                rendered = ",".join(
-                    f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+        if mtype == "histogram":
+            for labels, snap in samples:
+                base = dict(labels)
+                for le, cumulative in snap.cumulative():
+                    bucket_labels = dict(base)
+                    bucket_labels["le"] = (
+                        "+Inf" if math.isinf(le) else format_float(le)
+                    )
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(base)} {format_float(snap.total_sum)}"
                 )
-                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
-            else:
-                lines.append(f"{name} {_format_value(value)}")
+                lines.append(f"{name}_count{_render_labels(base)} {snap.total_count}")
+        else:
+            for labels, value in samples:
+                lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
     return "\n".join(lines) + "\n"
 
 
@@ -65,7 +91,120 @@ def gauge_family(name: str, help_text: str, samples: Sequence[Sample]) -> Metric
     return (name, "gauge", help_text, samples)
 
 
-def server_metrics_text(stats: Dict) -> str:
+def histogram_family(
+    name: str,
+    help_text: str,
+    samples: Sequence[Tuple[Mapping[str, str], HistogramSnapshot]],
+) -> MetricFamily:
+    return (name, "histogram", help_text, samples)
+
+
+def build_info_family(role: str, extra: Optional[Mapping[str, str]] = None) -> MetricFamily:
+    """``repro_build_info``: constant-1 gauge whose labels identify the build.
+
+    Carries the package version, every wire/cache schema version, and the
+    active solve-kernel mode so a fleet dashboard can spot mixed-version
+    clusters (the sticky JSON/frame downgrades then explain themselves).
+    """
+    import repro
+    from repro.core.kernels import kernel_mode
+    from repro.graph import FLAT_FRAME_VERSION
+    from repro.runtime.component_io import GRAPH_WIRE_VERSION
+    from repro.runtime.hashing import _SCHEMA_VERSION as HASH_SCHEMA_VERSION
+    from repro.runtime.sqlite_cache import SCHEMA_VERSION as CACHE_SCHEMA_VERSION
+    from repro.runtime.wire_binary import FRAME_VERSION
+
+    labels = {
+        "version": repro.__version__,
+        "role": role,
+        "hash_schema": str(HASH_SCHEMA_VERSION),
+        "cache_schema": str(CACHE_SCHEMA_VERSION),
+        "graph_wire": str(GRAPH_WIRE_VERSION),
+        "components_frame": str(FRAME_VERSION),
+        "flat_frame": str(FLAT_FRAME_VERSION),
+        "solve_kernels": kernel_mode(),
+    }
+    labels.update(extra or {})
+    return gauge_family(
+        "repro_build_info",
+        "Build/version identity of this process (value is always 1).",
+        [(labels, 1)],
+    )
+
+
+def observability_families(obs) -> List[MetricFamily]:
+    """Metric families fed by :mod:`repro.obs` instrumentation.
+
+    Shared by the server's and the coordinator's ``/metrics``: the span
+    stage histograms, the runtime-layer latency histograms (component-cache
+    lookups, shared-memory transfers — process-wide, serving-process view),
+    and, when the journal is enabled, journal/watch telemetry.
+    """
+    from repro.runtime import shm_transport
+    from repro.runtime.cache import lookup_histogram
+
+    families: List[MetricFamily] = [
+        histogram_family(
+            "repro_stage_duration_seconds",
+            "Per-stage request latency (seconds), fed by trace spans.",
+            [({"stage": stage}, snap) for stage, snap in obs.stages.snapshot()],
+        ),
+        histogram_family(
+            "repro_cache_lookup_seconds",
+            "Component-cache lookup latency (serving process only; pool "
+            "worker processes keep their own).",
+            [({}, lookup_histogram().snapshot())],
+        ),
+        histogram_family(
+            "repro_shm_transfer_seconds",
+            "Shared-memory segment write/read latency (serving process "
+            "only).",
+            [
+                ({"op": "write"}, shm_transport.WRITE_HISTOGRAM.snapshot()),
+                ({"op": "read"}, shm_transport.READ_HISTOGRAM.snapshot()),
+            ],
+        ),
+    ]
+    if obs.journal is not None:
+        journal_stats = obs.journal.stats()
+        families.append(
+            counter_family(
+                "repro_journal_events_total",
+                "Lifecycle events appended to the journal this process "
+                "lifetime.",
+                [({}, journal_stats["appended"])],
+            )
+        )
+        families.append(
+            counter_family(
+                "repro_journal_recovered_bytes_total",
+                "Torn-tail bytes truncated during journal open-time "
+                "recovery.",
+                [({}, journal_stats["recovered_bytes"])],
+            )
+        )
+    if obs.hub is not None:
+        families.append(
+            gauge_family(
+                "repro_watch_subscribers",
+                "Live GET /watch subscribers.",
+                [({}, obs.hub.subscriber_count)],
+            )
+        )
+        families.append(
+            counter_family(
+                "repro_watch_dropped_events_total",
+                "Events dropped across slow GET /watch subscribers "
+                "(drop-oldest policy).",
+                [({}, obs.hub.dropped)],
+            )
+        )
+    return families
+
+
+def server_metrics_text(
+    stats: Dict, extra_families: Optional[Sequence[MetricFamily]] = None
+) -> str:
     """Render a ``DecompositionServer._stats`` snapshot as Prometheus text."""
     server: Dict = stats.get("server", {})
     pool: Dict = stats.get("pool", {})
@@ -171,4 +310,151 @@ def server_metrics_text(stats: Dict) -> str:
                 [({}, cache.get("entries", 0))],
             )
         )
+    if extra_families:
+        families.extend(extra_families)
     return render_metrics(families)
+
+
+def lint_metrics_text(text: str) -> List[str]:
+    """Parse Prometheus text exposition; return a list of format problems.
+
+    Checks the invariants a scraper relies on: every sample preceded by a
+    matching HELP+TYPE pair, parseable label syntax with proper escaping,
+    parseable values, histogram ``le`` bucket monotonicity (cumulative
+    counts non-decreasing, final bucket ``+Inf`` equal to ``_count``).
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    histograms: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    hist_counts: Dict[str, Dict[str, float]] = {}
+
+    def base_name(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                trimmed = sample_name[: -len(suffix)]
+                if declared.get(trimmed) == "histogram":
+                    return trimmed
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                problems.append(f"line {lineno}: HELP without text")
+            else:
+                helped[parts[2]] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {lineno}: bad TYPE line {line!r}")
+                continue
+            name = parts[2]
+            if name in declared:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            if not helped.get(name):
+                problems.append(f"line {lineno}: TYPE {name} without preceding HELP")
+            declared[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        # Sample line: name[{labels}] value
+        brace = line.find("{")
+        labels: Dict[str, str] = {}
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                problems.append(f"line {lineno}: unbalanced braces")
+                continue
+            name = line[:brace]
+            label_blob = line[brace + 1 : close]
+            rest = line[close + 1 :].strip()
+            i = 0
+            while i < len(label_blob):
+                eq = label_blob.find("=", i)
+                if eq < 0 or eq + 1 >= len(label_blob) or label_blob[eq + 1] != '"':
+                    problems.append(f"line {lineno}: malformed label pair")
+                    break
+                key = label_blob[i:eq].strip().lstrip(",").strip()
+                j = eq + 2
+                value_chars: List[str] = []
+                ok = False
+                while j < len(label_blob):
+                    ch = label_blob[j]
+                    if ch == "\\":
+                        if j + 1 >= len(label_blob) or label_blob[j + 1] not in ('"', "\\", "n"):
+                            break
+                        value_chars.append(
+                            {"n": "\n", '"': '"', "\\": "\\"}[label_blob[j + 1]]
+                        )
+                        j += 2
+                        continue
+                    if ch == '"':
+                        ok = True
+                        j += 1
+                        break
+                    if ch == "\n":
+                        break
+                    value_chars.append(ch)
+                    j += 1
+                if not ok:
+                    problems.append(f"line {lineno}: unterminated label value")
+                    break
+                labels[key] = "".join(value_chars)
+                i = j
+                if i < len(label_blob) and label_blob[i] == ",":
+                    i += 1
+        else:
+            name, _, rest = line.partition(" ")
+            rest = rest.strip()
+        value_text = rest.split(" ", 1)[0] if rest else ""
+        try:
+            if value_text in ("+Inf", "-Inf"):
+                value = math.inf if value_text == "+Inf" else -math.inf
+            elif value_text == "NaN":
+                value = math.nan
+            else:
+                value = float(value_text)
+        except ValueError:
+            problems.append(f"line {lineno}: unparseable value {value_text!r}")
+            continue
+        family = base_name(name)
+        if family not in declared:
+            problems.append(f"line {lineno}: sample {name} without TYPE declaration")
+            continue
+        if declared[family] == "histogram" and name.endswith("_bucket"):
+            le_text = labels.get("le")
+            if le_text is None:
+                problems.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            series = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items()) if k != "le"
+            )
+            histograms.setdefault(family, {}).setdefault(series, []).append((le, value))
+        if declared[family] == "histogram" and name.endswith("_count"):
+            series = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            hist_counts.setdefault(family, {})[series] = value
+
+    for family, series_map in histograms.items():
+        for series, buckets in series_map.items():
+            ordered = sorted(buckets, key=lambda pair: pair[0])
+            last = -math.inf
+            for le, cumulative in ordered:
+                if cumulative < last:
+                    problems.append(
+                        f"{family}{{{series}}}: bucket counts decrease at le={le}"
+                    )
+                last = cumulative
+            if not ordered or not math.isinf(ordered[-1][0]):
+                problems.append(f"{family}{{{series}}}: missing +Inf bucket")
+            else:
+                count = hist_counts.get(family, {}).get(series)
+                if count is not None and count != ordered[-1][1]:
+                    problems.append(
+                        f"{family}{{{series}}}: +Inf bucket != _count"
+                    )
+    return problems

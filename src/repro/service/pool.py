@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.decomposer import Decomposer
+from repro.obs.hist import Histogram
 from repro.runtime.cache import open_cache
 from repro.runtime.scheduler import resolve_workers
 from repro.service import protocol
@@ -167,6 +168,13 @@ class WorkerPool:
             "priority_bumps": 0,
             "shm_jobs": 0,
         }
+        #: Admission-queue wait (enqueue → dispatch to a worker), rendered
+        #: as ``repro_pool_queue_wait_seconds`` on ``/metrics``.  The owning
+        #: server may additionally attach its stage HistogramVec here so
+        #: queue waits show up as a ``queue_wait`` stage alongside the span
+        #: stages (see :mod:`repro.obs.observer`).
+        self.queue_wait = Histogram()
+        self.stage_histograms = None
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -329,6 +337,10 @@ class WorkerPool:
             chosen = cheapest
         chosen.dispatched = True
         self._queued[chosen.klass] -= 1
+        waited = time.monotonic() - chosen.enqueued_at
+        self.queue_wait.observe(waited)
+        if self.stage_histograms is not None:
+            self.stage_histograms.observe("queue_wait", waited)
         return chosen
 
     def _dispatch_locked(

@@ -61,10 +61,14 @@ server adds scheduling, not semantics.
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.journal import DEFAULT_SEGMENT_BYTES
+from repro.obs.observer import ObsConfig, Observer
 from repro.runtime.component_io import (
     ComponentWireError,
     component_error_entry,
@@ -74,17 +78,26 @@ from repro.runtime.component_io import (
 from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.http import (
     DEFAULT_MAX_BODY_BYTES,
+    TRACE_HEADER,
     HttpRequest,
     error_body,
     json_body,
 )
-from repro.service.metrics import METRICS_CONTENT_TYPE, server_metrics_text
+from repro.service.metrics import (
+    METRICS_CONTENT_TYPE,
+    build_info_family,
+    histogram_family,
+    observability_families,
+    server_metrics_text,
+)
 from repro.service.pool import PoolConfig, WorkerPool
 from repro.service.protocol import (
     ProtocolError,
     parse_batch_request,
     parse_decompose_request,
 )
+
+logger = logging.getLogger("repro.service.server")
 
 
 @dataclass
@@ -123,6 +136,17 @@ class ServerConfig:
     #: Frames below this many bytes ship inline even with shared memory on;
     #: ``None`` uses the transport default.
     shm_min_frame_bytes: Optional[int] = None
+    #: Event-journal directory; ``None`` disables tracing, the journal and
+    #: the ``/trace``//``/watch`` endpoints (the near-zero-cost default).
+    journal_dir: Optional[str] = None
+    #: fsync every journal append (durability over throughput).
+    journal_fsync: bool = False
+    #: Journal segment rotation threshold in bytes.
+    journal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: Per-subscriber ``GET /watch`` queue bound (drop-oldest beyond it).
+    watch_queue_limit: int = 256
+    #: Seconds between SSE heartbeat comments on an idle ``GET /watch``.
+    watch_heartbeat_seconds: float = 10.0
 
 
 class DecompositionServer(BaseHttpServer):
@@ -175,6 +199,19 @@ class DecompositionServer(BaseHttpServer):
             }
         )
         self._cache_stats_start: Dict[str, int] = {}
+        self.obs = Observer(
+            ObsConfig(
+                journal_dir=self.config.journal_dir,
+                journal_fsync=self.config.journal_fsync,
+                journal_segment_bytes=self.config.journal_segment_bytes,
+                watch_queue_limit=self.config.watch_queue_limit,
+                watch_heartbeat_seconds=self.config.watch_heartbeat_seconds,
+                role="server",
+            )
+        )
+        # Queue waits observed inside the pool surface as the ``queue_wait``
+        # stage of the same histogram family the spans feed.
+        self.pool.stage_histograms = self.obs.stages
 
     # ------------------------------------------------------------ lifecycle
     async def _on_start(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -211,8 +248,11 @@ class DecompositionServer(BaseHttpServer):
             stats = await loop.run_in_executor(None, self._stats)
             if route[1] == "/stats":
                 return 200, json_body(stats), None
-            text = server_metrics_text(stats)
+            text = server_metrics_text(stats, extra_families=self._metrics_extras())
             return 200, text.encode("utf-8"), {"Content-Type": METRICS_CONTENT_TYPE}
+        observability = await self._dispatch_observability(request)
+        if observability is not None:
+            return observability
         if route == ("POST", "/decompose"):
             return await self._serve_jobs(request, batch=False)
         if route == ("POST", "/batch"):
@@ -229,15 +269,23 @@ class DecompositionServer(BaseHttpServer):
             "/batch",
             "/component",
             "/components",
+            "/watch",
         )
         if route[1] in known:
             return (*error_body(405, f"{request.method} not allowed on {route[1]}"), None)
         return (*error_body(404, f"no such endpoint {route[1]!r}"), None)
 
+    def _trace_headers(self, ctx) -> Optional[Dict[str, str]]:
+        """Response headers advertising the request's trace id (or none)."""
+        return {TRACE_HEADER: ctx.trace_id} if ctx is not None else None
+
     async def _serve_jobs(
         self, request: HttpRequest, batch: bool
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         loop = asyncio.get_running_loop()
+        kind = "batch" if batch else "decompose"
+        ctx = self.obs.begin(request.headers.get(TRACE_HEADER.lower()))
+        self.obs.emit(ctx, "received", kind=kind)
 
         def _decode_jobs() -> List[Dict]:
             # Decoding a (up to max_body_bytes) JSON body and rebuilding the
@@ -249,16 +297,33 @@ class DecompositionServer(BaseHttpServer):
             return [parse_decompose_request(payload)]
 
         try:
-            jobs = await loop.run_in_executor(None, _decode_jobs)
+            with self.obs.span("parse", ctx):
+                jobs = await loop.run_in_executor(None, _decode_jobs)
         except ProtocolError as exc:
             self._counters["invalid"] += 1
-            return (*error_body(400, str(exc)), None)
+            self.obs.emit(ctx, "failed", status=400, message=str(exc))
+            if ctx is not None:
+                logger.warning(
+                    "bad %s request: %s", kind, exc, extra={"trace_id": ctx.trace_id}
+                )
+            return (*error_body(400, str(exc)), self._trace_headers(ctx))
         for job in jobs:
             job["priority_class"] = "batch" if batch else "interactive"
+            if ctx is not None:
+                job["trace_id"] = ctx.trace_id
 
-        results, error = await self._execute_jobs(jobs)
+        self.obs.emit(ctx, "divided", layouts=len(jobs))
+        with self.obs.span("execute", ctx):
+            results, error = await self._execute_jobs(jobs)
         if error is not None:
-            return error
+            status = error[0]
+            self.obs.emit(ctx, "failed", status=status)
+            if ctx is not None:
+                logger.warning(
+                    "%s request failed with %d", kind, status,
+                    extra={"trace_id": ctx.trace_id},
+                )
+            return error[0], error[1], {**(error[2] or {}), **(self._trace_headers(ctx) or {})}
         self._counters["served"] += len(jobs)
 
         def _encode_response() -> bytes:
@@ -272,12 +337,41 @@ class DecompositionServer(BaseHttpServer):
             }
             return json_body({"items": results, "aggregate": aggregate})
 
-        return 200, await loop.run_in_executor(None, _encode_response), None
+        with self.obs.span("encode", ctx):
+            body = await loop.run_in_executor(None, _encode_response)
+        self.obs.emit(
+            ctx,
+            "merged",
+            layouts=len(results),
+            conflicts=sum(r.get("conflicts", 0) for r in results),
+            stitches=sum(r.get("stitches", 0) for r in results),
+        )
+        return 200, body, self._trace_headers(ctx)
+
+    def _observe_component_timings(self, outcome: Dict, ctx) -> None:
+        """Feed one worker result's ``timings`` into histograms/spans, then
+        strip it so response bytes stay identical with tracing on or off."""
+        timings = outcome.pop("timings", None)
+        if not isinstance(timings, dict):
+            return
+        lookup = float(timings.get("cache_lookup", 0.0))
+        solve = float(timings.get("solve", 0.0))
+        self.obs.stages.observe("cache_lookup", lookup)
+        if not outcome.get("cache_hit"):
+            self.obs.stages.observe("solve", solve)
+        if ctx is not None:
+            now = time.perf_counter()
+            detail = outcome.get("key")
+            ctx.add_span("cache_lookup", now - solve - lookup, lookup, parent="execute", detail=detail)
+            if not outcome.get("cache_hit"):
+                ctx.add_span("solve", now - solve, solve, parent="execute", detail=detail)
 
     async def _serve_component(
         self, request: HttpRequest
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         loop = asyncio.get_running_loop()
+        ctx = self.obs.begin(request.headers.get(TRACE_HEADER.lower()))
+        self.obs.emit(ctx, "received", kind="component")
 
         def _decode_component() -> Dict:
             payload = request.json()
@@ -285,34 +379,48 @@ class DecompositionServer(BaseHttpServer):
             return {"kind": "component", **payload}
 
         try:
-            job = await loop.run_in_executor(None, _decode_component)
+            with self.obs.span("parse", ctx):
+                job = await loop.run_in_executor(None, _decode_component)
         except (ProtocolError, ComponentWireError) as exc:
             self._counters["invalid"] += 1
-            return (*error_body(400, str(exc)), None)
+            self.obs.emit(ctx, "failed", status=400, message=str(exc))
+            return (*error_body(400, str(exc)), self._trace_headers(ctx))
 
         job["priority_class"] = "interactive"
-        results, error = await self._execute_jobs([job])
+        job.pop("trace_id", None)
+        if ctx is not None:
+            job["trace_id"] = ctx.trace_id
+        with self.obs.span("execute", ctx):
+            results, error = await self._execute_jobs([job])
         if error is not None:
-            return error
+            self.obs.emit(ctx, "failed", status=error[0])
+            return error[0], error[1], {**(error[2] or {}), **(self._trace_headers(ctx) or {})}
         payload = results[0]
+        self._observe_component_timings(payload, ctx)
         self._counters["components"] += 1
         if payload.get("cache_hit"):
             self._counters["component_cache_hits"] += 1
-        return 200, json_body(payload), None
+        self.obs.emit(
+            ctx, "completed", solved=1, total=1, cache_hits=int(bool(payload.get("cache_hit")))
+        )
+        return 200, json_body(payload), self._trace_headers(ctx)
 
     async def _serve_components(
         self, request: HttpRequest
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         """One component micro-batch: per-component results, one admission slot."""
         loop = asyncio.get_running_loop()
+        started_at = time.perf_counter()
 
-        def _decode_binary_batch() -> List[object]:
+        def _decode_binary_batch() -> Tuple[List[object], Optional[str]]:
             # The v2 hot path: packed flat-array frames, no JSON in sight.
             # Envelope damage is a request-level 400; a bad graph frame
             # inside an intact entry fails only that component.
             from repro.runtime.wire_binary import decode_components_frame
 
-            colors, algorithm, frames = decode_components_frame(request.body)
+            colors, algorithm, body_trace, frames = decode_components_frame(
+                request.body
+            )
             if not frames:
                 raise ComponentWireError("components frame carries no components")
             options_for(colors, algorithm)  # envelope-level 400
@@ -332,9 +440,9 @@ class DecompositionServer(BaseHttpServer):
                         "priority_class": "batch",
                     }
                 )
-            return entries
+            return entries, body_trace
 
-        def _decode_json_batch() -> List[object]:
+        def _decode_json_batch() -> Tuple[List[object], Optional[str]]:
             payload = request.json()
             if not isinstance(payload, dict):
                 raise ComponentWireError("request body must be a JSON object")
@@ -344,6 +452,9 @@ class DecompositionServer(BaseHttpServer):
             colors = payload.get("colors", 4)
             algorithm = payload.get("algorithm", "sdp-backtrack")
             options_for(colors, algorithm)  # envelope-level 400
+            body_trace = payload.get("trace_id")
+            if not isinstance(body_trace, str):
+                body_trace = None
             # Per-entry validation: a malformed component fails only itself
             # (its layout, on the coordinator side), never its batch
             # siblings — so errors become entries, not a request-level 400.
@@ -365,7 +476,7 @@ class DecompositionServer(BaseHttpServer):
                     entries.append(exc)
                     continue
                 entries.append(candidate)
-            return entries
+            return entries, body_trace
 
         from repro.runtime.wire_binary import COMPONENTS_V2_CONTENT_TYPE
 
@@ -375,35 +486,67 @@ class DecompositionServer(BaseHttpServer):
         )
         decode = _decode_binary_batch if use_binary else _decode_json_batch
         try:
-            entries = await loop.run_in_executor(None, decode)
+            entries, body_trace = await loop.run_in_executor(None, decode)
         except (ProtocolError, ComponentWireError) as exc:
             self._counters["invalid"] += 1
+            self.obs.stages.observe("parse", time.perf_counter() - started_at)
             return (*error_body(400, str(exc)), None)
+        parse_done = time.perf_counter()
+        self.obs.stages.observe("parse", parse_done - started_at)
+        # Trace id priority: wire body (frame v2 field / JSON envelope), then
+        # the header (the downgrade-proof channel).  ``t0`` is the request's
+        # arrival so the trace's wall time covers the parse too.
+        ctx = self.obs.begin(
+            body_trace or request.headers.get(TRACE_HEADER.lower()),
+            started_at=started_at,
+        )
+        if ctx is not None:
+            ctx.add_span("parse", started_at, parse_done - started_at)
+        self.obs.emit(
+            ctx,
+            "received",
+            kind="components",
+            components=len(entries),
+            wire="binary" if use_binary else "json",
+        )
 
         jobs = [entry for entry in entries if isinstance(entry, dict)]
+        if ctx is not None:
+            for job in jobs:
+                job["trace_id"] = ctx.trace_id
         results: List = []
+        execute_span = self.obs.span("execute", ctx)
         if jobs:
             # One admission slot for the whole batch: the node's overload
             # contract sheds *round trips*; the pool's priority queue owns
             # the ordering of the batch's members against other work.
-            results, error = await self._execute_jobs(
-                jobs, units=1, collect_errors=True
-            )
+            with execute_span:
+                results, error = await self._execute_jobs(
+                    jobs, units=1, collect_errors=True
+                )
             if error is not None:
-                return error
+                self.obs.emit(ctx, "failed", status=error[0])
+                return error[0], error[1], {
+                    **(error[2] or {}),
+                    **(self._trace_headers(ctx) or {}),
+                }
 
         job_results = iter(results)
         solved = 0
         cache_hits = 0
+        errors = 0
         encoded: List[Dict] = []
         for entry in entries:
             if isinstance(entry, ComponentWireError):
+                errors += 1
                 encoded.append(component_error_entry(400, str(entry)))
                 continue
             outcome = next(job_results)
             if isinstance(outcome, BaseException):
+                errors += 1
                 encoded.append(self._component_failure_entry(outcome))
                 continue
+            self._observe_component_timings(outcome, ctx)
             solved += 1
             if outcome.get("cache_hit"):
                 cache_hits += 1
@@ -413,9 +556,19 @@ class DecompositionServer(BaseHttpServer):
         self._counters["batched_components"] += len(entries)
         self._counters["components"] += solved
         self._counters["component_cache_hits"] += cache_hits
-        return 200, await loop.run_in_executor(
-            None, lambda: json_body({"results": encoded})
-        ), None
+        with self.obs.span("encode", ctx):
+            body = await loop.run_in_executor(
+                None, lambda: json_body({"results": encoded})
+            )
+        self.obs.emit(
+            ctx,
+            "completed",
+            solved=solved,
+            total=len(entries),
+            errors=errors,
+            cache_hits=cache_hits,
+        )
+        return 200, body, self._trace_headers(ctx)
 
     @staticmethod
     def _component_failure_entry(exc: BaseException) -> Dict:
@@ -466,6 +619,19 @@ class DecompositionServer(BaseHttpServer):
         )
 
     # ------------------------------------------------------------ telemetry
+    def _metrics_extras(self) -> List:
+        """Observability families appended to the counter-based exposition."""
+        families = [build_info_family("server")]
+        families.extend(observability_families(self.obs))
+        families.append(
+            histogram_family(
+                "repro_pool_queue_wait_seconds",
+                "Seconds jobs spent in the worker pool's priority queue.",
+                [({}, self.pool.queue_wait.snapshot())],
+            )
+        )
+        return families
+
     def _healthz(self) -> Dict[str, object]:
         return {
             "status": "draining" if self._draining else "ok",

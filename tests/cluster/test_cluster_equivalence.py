@@ -62,6 +62,62 @@ class TestByteIdentical:
             assert canonical_json(item) == canonical_json(_direct_payload(layout, name))
 
 
+class TestJournaledIdentity:
+    """The observability acceptance bar: full tracing + journaling on every
+    process must not change a single response byte."""
+
+    def test_three_node_journaled_cluster_matches_direct(self, tmp_path):
+        from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
+        from repro.obs.journal import read_journal
+        from repro.obs.replay import check_events
+        from repro.service import ServerConfig, ServerThread
+
+        nodes = [
+            ServerThread(
+                ServerConfig(
+                    port=0,
+                    workers=1,
+                    force_inline_pool=True,
+                    journal_dir=str(tmp_path / f"node{i}"),
+                )
+            )
+            for i in range(3)
+        ]
+        coordinator = None
+        try:
+            peers = ["%s:%d" % node.start() for node in nodes]
+            coordinator = CoordinatorThread(
+                CoordinatorConfig(
+                    port=0,
+                    peers=peers,
+                    probe_interval=60.0,
+                    journal_dir=str(tmp_path / "coordinator"),
+                )
+            )
+            client = ClusterClient(*coordinator.start())
+            client.wait_until_healthy()
+            for name, layout in (
+                ("cells", repeated_cell_layout(copies=4)),
+                ("wires", wire_row_layout(num_wires=4, wire_length=600)),
+            ):
+                served = client.decompose(layout, name=name, algorithm="linear")
+                assert canonical_json(served) == canonical_json(
+                    _direct_payload(layout, name)
+                )
+                trace = client.trace(client.last_trace_id)
+                total = sum(span["seconds"] for span in trace["spans"])
+                assert 0.0 < total <= trace["wall_seconds"]
+        finally:
+            if coordinator is not None:
+                coordinator.stop()
+            for node in nodes:
+                node.stop()
+        # Every journal in the fleet satisfies the lifecycle invariants.
+        for directory in sorted(tmp_path.iterdir()):
+            assert check_events(read_journal(str(directory))) == [], directory
+        assert read_journal(str(tmp_path / "coordinator"))
+
+
 class TestNodeDeath:
     def test_kill_loaded_node_between_requests(self):
         """Kill the node that owned the components: the survivors re-solve

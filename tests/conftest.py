@@ -37,6 +37,12 @@ def pytest_configure(config) -> None:
         "fast path and in CI's dedicated cluster step; full-circuit sweeps "
         "are additionally marked slow",
     )
+    config.addinivalue_line(
+        "markers",
+        "obs: exercises the observability layer (tracing, histograms, "
+        "journal, /trace and /watch).  All obs tests run in the tier-1 "
+        "fast path and in CI's dedicated obs step",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,126 @@
+"""Event journal: rotation, crash recovery, deterministic reads."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.journal import EventJournal, read_journal
+
+pytestmark = pytest.mark.obs
+
+
+def _segments(directory):
+    return sorted(n for n in os.listdir(directory) if n.endswith(".jsonl"))
+
+
+class TestAppend:
+    def test_seq_and_ts_stamped(self, tmp_path):
+        journal = EventJournal(str(tmp_path))
+        first = journal.append({"event": "received", "trace_id": "a" * 16})
+        second = journal.append({"event": "completed", "trace_id": "a" * 16})
+        journal.close()
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert isinstance(first["ts"], float)
+        assert read_journal(str(tmp_path)) == [first, second]
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = EventJournal(str(tmp_path))
+        journal.close()
+        with pytest.raises(RuntimeError):
+            journal.append({"event": "received"})
+
+    def test_lines_are_compact_sorted_json(self, tmp_path):
+        journal = EventJournal(str(tmp_path))
+        journal.append({"zeta": 1, "alpha": 2, "event": "received"})
+        journal.close()
+        (line,) = (tmp_path / "events-000001.jsonl").read_text().splitlines()
+        assert line == json.dumps(json.loads(line), sort_keys=True, separators=(",", ":"))
+
+
+class TestRotation:
+    def test_segments_rotate_at_size_cap(self, tmp_path):
+        journal = EventJournal(str(tmp_path), max_segment_bytes=4096)
+        for i in range(200):
+            journal.append({"event": "progress", "trace_id": "b" * 16, "i": i})
+        journal.close()
+        names = _segments(tmp_path)
+        assert len(names) >= 2
+        assert names[0] == "events-000001.jsonl"
+        # seq stays globally strict across the segment boundary.
+        events = read_journal(str(tmp_path))
+        assert [e["seq"] for e in events] == list(range(1, 201))
+
+    def test_reopen_resumes_seq_in_tail_segment(self, tmp_path):
+        journal = EventJournal(str(tmp_path), max_segment_bytes=4096)
+        for i in range(50):
+            journal.append({"event": "progress", "i": i})
+        journal.close()
+        reopened = EventJournal(str(tmp_path), max_segment_bytes=4096)
+        record = reopened.append({"event": "progress", "i": 50})
+        reopened.close()
+        assert record["seq"] == 51
+        assert len(read_journal(str(tmp_path))) == 51
+
+
+class TestRecovery:
+    def _journal_with_torn_tail(self, tmp_path):
+        journal = EventJournal(str(tmp_path))
+        for i in range(5):
+            journal.append({"event": "progress", "trace_id": "c" * 16, "i": i})
+        journal.close()
+        path = tmp_path / "events-000001.jsonl"
+        intact = path.read_bytes()
+        # Simulate kill -9 mid-write: half of a sixth record, no newline.
+        path.write_bytes(intact + b'{"event":"progress","seq":6,"tr')
+        return path, intact
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path, intact = self._journal_with_torn_tail(tmp_path)
+        reopened = EventJournal(str(tmp_path))
+        reopened.close()
+        assert path.read_bytes() == intact
+        assert reopened.recovered_bytes > 0
+        assert reopened.stats()["recovered_bytes"] > 0
+
+    def test_seq_resumes_after_recovered_tail(self, tmp_path):
+        self._journal_with_torn_tail(tmp_path)
+        reopened = EventJournal(str(tmp_path))
+        record = reopened.append({"event": "completed", "trace_id": "c" * 16})
+        reopened.close()
+        assert record["seq"] == 6  # the torn seq=6 never became durable
+        events = read_journal(str(tmp_path))
+        assert [e["seq"] for e in events] == [1, 2, 3, 4, 5, 6]
+
+    def test_corrupt_middle_line_stops_that_segment(self, tmp_path):
+        """A non-JSON line (disk corruption) hides the rest of its segment
+        but never crashes the reader."""
+        journal = EventJournal(str(tmp_path))
+        for i in range(3):
+            journal.append({"event": "progress", "i": i})
+        journal.close()
+        path = tmp_path / "events-000001.jsonl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(lines[0] + b"\x00garbage\n" + lines[2])
+        assert [e["seq"] for e in read_journal(str(tmp_path))] == [1]
+
+    def test_read_journal_missing_directory_is_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "nope")) == []
+
+    def test_readers_skip_torn_tail_without_mutating(self, tmp_path):
+        path, intact = self._journal_with_torn_tail(tmp_path)
+        torn = path.read_bytes()
+        events = read_journal(str(tmp_path))
+        assert len(events) == 5
+        assert path.read_bytes() == torn  # read-only access left the tear alone
+
+
+class TestFsync:
+    def test_fsync_flag_reaches_stats(self, tmp_path):
+        journal = EventJournal(str(tmp_path), fsync=True)
+        journal.append({"event": "received"})
+        stats = journal.stats()
+        journal.close()
+        assert stats["fsync"] is True and stats["appended"] == 1

@@ -1,0 +1,89 @@
+"""Replay checker: the lifecycle invariants the journal must uphold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.journal import EventJournal
+from repro.obs.replay import check_events, main
+
+pytestmark = pytest.mark.obs
+
+T1 = "1" * 16
+T2 = "2" * 16
+
+
+def _ok_sequence():
+    return [
+        {"seq": 1, "event": "received", "trace_id": T1},
+        {"seq": 2, "event": "received", "trace_id": T2},
+        {"seq": 3, "event": "progress", "trace_id": T1, "solved": 1, "total": 3},
+        {"seq": 4, "event": "progress", "trace_id": T1, "solved": 3, "total": 3},
+        {"seq": 5, "event": "completed", "trace_id": T1},
+        {"seq": 6, "event": "failed", "trace_id": T2},
+    ]
+
+
+class TestChecker:
+    def test_clean_interleaved_traces_pass(self):
+        assert check_events(_ok_sequence()) == []
+
+    def test_empty_journal_passes(self):
+        assert check_events([]) == []
+
+    @pytest.mark.parametrize(
+        "mutate,needle",
+        [
+            (lambda ev: ev[3].update(seq=3), "seq not strictly increasing"),
+            (lambda ev: ev[2].pop("trace_id"), "has no trace_id"),
+            (lambda ev: ev[2].update(solved="one"), "malformed progress"),
+            (lambda ev: ev[3].update(solved=0), "went backwards"),
+            (lambda ev: ev[3].update(solved=9), "exceeds total"),
+            (lambda ev: ev[0].update(event="progress", solved=0, total=1), "before received"),
+            (lambda ev: ev[2].update(event="received"), "duplicate received"),
+            (
+                lambda ev: ev.append(
+                    {"seq": 7, "event": "progress", "trace_id": T1, "solved": 3, "total": 3}
+                ),
+                "after terminal",
+            ),
+            (
+                lambda ev: ev.append({"seq": 7, "event": "merged", "trace_id": T1}),
+                "after terminal",
+            ),
+        ],
+    )
+    def test_each_violation_detected(self, mutate, needle):
+        events = _ok_sequence()
+        mutate(events)
+        problems = check_events(events)
+        assert any(needle in p for p in problems), problems
+
+
+class TestCli:
+    def _write(self, tmp_path, events):
+        journal = EventJournal(str(tmp_path))
+        for event in events:
+            event.pop("seq", None)  # the journal stamps its own
+            journal.append(event)
+        journal.close()
+
+    def test_check_passes_on_real_journal(self, tmp_path, capsys):
+        self._write(tmp_path, _ok_sequence())
+        assert main(["--journal", str(tmp_path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "replay: OK 6 events, 2 traces" in out
+
+    def test_check_fails_on_violation(self, tmp_path, capsys):
+        events = _ok_sequence()
+        events.append({"event": "progress", "trace_id": T1, "solved": 1, "total": 3})
+        self._write(tmp_path, events)
+        assert main(["--journal", str(tmp_path), "--check"]) == 1
+        assert "after terminal" in capsys.readouterr().err
+
+    def test_json_dump_without_check(self, tmp_path, capsys):
+        self._write(tmp_path, _ok_sequence()[:1])
+        assert main(["--journal", str(tmp_path), "--json"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[-1] == "replay: 1 events"
+        assert '"event": "received"' in out[0] or '"event":"received"' in out[0]

@@ -1,0 +1,174 @@
+"""Trace ids, spans, the per-request context, and trace assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.hist import HistogramVec
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    assemble_trace,
+    format_trace_tree,
+    new_trace_id,
+    valid_trace_id,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestTraceIds:
+    def test_minted_ids_are_valid_and_distinct(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(valid_trace_id(t) for t in ids)
+
+    @pytest.mark.parametrize(
+        "value", ["deadbeefcafef00d", "ABCD-1234", "ffff"]
+    )
+    def test_accepts_hex_and_dashes(self, value):
+        assert valid_trace_id(value)
+
+    @pytest.mark.parametrize(
+        "value", [None, 17, "", "xyz", "g" * 16, "a" * 65, "a b", "abc"]
+    )
+    def test_rejects_non_ids(self, value):
+        assert not valid_trace_id(value)
+
+
+class TestTraceContext:
+    def test_spans_are_offset_relative_to_t0(self):
+        ctx = TraceContext("a" * 16, t0=100.0)
+        ctx.add_span("parse", 100.25, 0.5, parent=None, detail="x")
+        (span,) = ctx.spans()
+        assert span == {
+            "stage": "parse",
+            "offset": 0.25,
+            "seconds": 0.5,
+            "detail": "x",
+        }
+
+    def test_progress_counters_are_cumulative(self):
+        ctx = TraceContext("a" * 16)
+        ctx.register_work(3)
+        ctx.register_work(2)  # second layout in the same request
+        assert ctx.advance(2) == (2, 5)
+        assert ctx.advance(3) == (5, 5)
+
+    def test_negative_units_ignored(self):
+        ctx = TraceContext("a" * 16)
+        ctx.register_work(-5)
+        assert ctx.advance(-1) == (0, 0)
+
+    def test_finished_latch_fires_once(self):
+        ctx = TraceContext("a" * 16)
+        assert not ctx.finished
+        assert ctx.mark_finished() is True
+        assert ctx.mark_finished() is False
+        assert ctx.finished
+
+
+class TestSpan:
+    def test_span_feeds_hist_ctx_and_sink(self):
+        vec = HistogramVec("stage")
+        ctx = TraceContext("a" * 16)
+        sink = {}
+        with Span("solve", ctx=ctx, hist=vec, parent="execute", sink=sink):
+            pass
+        (span,) = ctx.spans()
+        assert span["stage"] == "solve" and span["parent"] == "execute"
+        assert vec.snapshot()[0][1].total_count == 1
+        assert sink["solve"] >= 0.0
+
+    def test_span_records_even_when_body_raises(self):
+        ctx = TraceContext("a" * 16)
+        with pytest.raises(RuntimeError):
+            with Span("solve", ctx=ctx):
+                raise RuntimeError("solver exploded")
+        assert [s["stage"] for s in ctx.spans()] == ["solve"]
+
+    def test_bare_span_is_a_no_op(self):
+        with Span("anything"):
+            pass  # nothing to assert: must simply not fail
+
+
+class TestAssembleTrace:
+    def _events(self):
+        return [
+            {
+                "seq": 1,
+                "event": "received",
+                "trace_id": "e" * 16,
+                "kind": "decompose",
+            },
+            {
+                "seq": 2,
+                "event": "progress",
+                "trace_id": "e" * 16,
+                "solved": 1,
+                "total": 2,
+            },
+            {
+                "seq": 3,
+                "event": "completed",
+                "trace_id": "e" * 16,
+                "wall_seconds": 0.5,
+                "spans": [
+                    {"stage": "parse", "offset": 0.0, "seconds": 0.01},
+                    {"stage": "execute", "offset": 0.01, "seconds": 0.4},
+                    {
+                        "stage": "route",
+                        "offset": 0.02,
+                        "seconds": 0.3,
+                        "parent": "execute",
+                    },
+                    {
+                        "stage": "node_rpc",
+                        "offset": 0.03,
+                        "seconds": 0.1,
+                        "parent": "route",
+                        "detail": "127.0.0.1:9 x2",
+                    },
+                ],
+            },
+        ]
+
+    def test_tree_nests_by_parent_stage(self):
+        trace = assemble_trace(self._events())
+        assert trace["trace_id"] == "e" * 16
+        assert trace["status"] == "completed"
+        assert trace["wall_seconds"] == 0.5
+        roots = trace["spans"]
+        assert [s["stage"] for s in roots] == ["parse", "execute"]
+        execute = roots[1]
+        assert [s["stage"] for s in execute["children"]] == ["route"]
+        route = execute["children"][0]
+        assert [s["stage"] for s in route["children"]] == ["node_rpc"]
+
+    def test_events_ordered_by_seq_even_if_input_shuffled(self):
+        events = self._events()
+        trace = assemble_trace(list(reversed(events)))
+        assert [e["seq"] for e in trace["events"]] == [1, 2, 3]
+
+    def test_failed_terminal_sets_status(self):
+        events = self._events()
+        events[-1]["event"] = "failed"
+        assert assemble_trace(events)["status"] == "failed"
+
+    def test_no_terminal_is_in_flight(self):
+        assert assemble_trace(self._events()[:2])["status"] == "in_flight"
+
+    def test_top_level_durations_fit_inside_wall_time(self):
+        """The acceptance invariant /trace promises dashboards."""
+        trace = assemble_trace(self._events())
+        total = sum(span["seconds"] for span in trace["spans"])
+        assert total <= trace["wall_seconds"]
+
+    def test_render_names_every_stage(self):
+        text = format_trace_tree(assemble_trace(self._events()))
+        for token in ("parse", "execute", "route", "node_rpc", "127.0.0.1:9 x2"):
+            assert token in text
+        # node_rpc is two levels below execute in the rendering.
+        lines = {line.strip().split()[0]: line for line in text.splitlines()[4:]}
+        indent = lambda stage: len(lines[stage]) - len(lines[stage].lstrip())
+        assert indent("parse") == indent("execute") < indent("route") < indent("node_rpc")

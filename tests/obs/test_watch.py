@@ -1,0 +1,100 @@
+"""Watch hub fan-out: bounded queues, drop-oldest, SSE framing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.watch import WatchHub, sse_comment, sse_event
+
+pytestmark = pytest.mark.obs
+
+
+def _event(i):
+    return {"event": "progress", "seq": i, "trace_id": "f" * 16}
+
+
+class TestFanOut:
+    def test_every_subscriber_sees_every_event(self):
+        hub = WatchHub(queue_limit=16)
+        subs = [hub.subscribe() for _ in range(3)]
+        for i in range(4):
+            hub.publish(_event(i))
+        for sub in subs:
+            assert [e["seq"] for e in hub.drain(sub)] == [0, 1, 2, 3]
+        assert hub.published == 4 and hub.dropped == 0
+
+    def test_drain_empties_the_queue(self):
+        hub = WatchHub(queue_limit=16)
+        sub = hub.subscribe()
+        hub.publish(_event(0))
+        assert hub.drain(sub)
+        assert hub.drain(sub) == []
+
+    def test_unsubscribed_consumer_stops_receiving(self):
+        hub = WatchHub(queue_limit=16)
+        sub = hub.subscribe()
+        hub.unsubscribe(sub)
+        hub.unsubscribe(sub)  # idempotent
+        hub.publish(_event(0))
+        assert hub.drain(sub) == []
+        assert hub.subscriber_count == 0
+
+
+class TestSlowConsumer:
+    def test_oldest_events_dropped_and_marked(self):
+        hub = WatchHub(queue_limit=4)
+        slow = hub.subscribe()
+        for i in range(10):
+            hub.publish(_event(i))
+        drained = hub.drain(slow)
+        # First item is the marker for the 6 lost events, then the newest 4.
+        assert drained[0] == {"event": "dropped", "count": 6}
+        assert [e["seq"] for e in drained[1:]] == [6, 7, 8, 9]
+        assert hub.dropped == 6
+
+    def test_drop_marker_resets_after_drain(self):
+        hub = WatchHub(queue_limit=2)
+        sub = hub.subscribe()
+        for i in range(5):
+            hub.publish(_event(i))
+        assert hub.drain(sub)[0]["count"] == 3
+        hub.publish(_event(5))
+        drained = hub.drain(sub)
+        assert [e.get("event") for e in drained] == ["progress"]
+
+    def test_fast_consumer_unaffected_by_slow_sibling(self):
+        hub = WatchHub(queue_limit=2)
+        slow, fast = hub.subscribe(), hub.subscribe()
+        for i in range(3):
+            hub.publish(_event(i))
+            # The fast consumer drains every round and never loses anything.
+            assert [e["seq"] for e in hub.drain(fast)] == [i]
+        drained = hub.drain(slow)
+        assert drained[0] == {"event": "dropped", "count": 1}
+        assert [e["seq"] for e in drained[1:]] == [1, 2]
+
+
+class TestSseFraming:
+    def test_event_frame_shape(self):
+        frame = sse_event({"event": "received", "seq": 7}).decode()
+        name_line, data_line, blank, trailer = frame.split("\n")
+        assert name_line == "event: received"
+        assert blank == "" and trailer == ""
+        assert json.loads(data_line[len("data: "):]) == {
+            "event": "received",
+            "seq": 7,
+        }
+
+    def test_data_is_single_line_json(self):
+        """Journal events never contain newlines, so one data: line suffices
+        and the payload stays parseable by line-oriented SSE clients."""
+        frame = sse_event({"event": "x", "blob": "a" * 100}).decode()
+        assert frame.count("data: ") == 1
+
+    def test_unnamed_event_defaults_to_message(self):
+        assert sse_event({"seq": 1}).startswith(b"event: message\n")
+
+    def test_comment_frame(self):
+        assert sse_comment("heartbeat") == b": heartbeat\n\n"

@@ -51,8 +51,8 @@ def _roundtrip_equivalence(subgraphs) -> None:
         for graph in subgraphs
     ]
     body = encode_components_frame(list(zip(keys, [g.to_arrays() for g in subgraphs])), 4, "linear")
-    colors, algorithm, frames = decode_components_frame(body)
-    assert (colors, algorithm) == (4, "linear")
+    colors, algorithm, trace_id, frames = decode_components_frame(body)
+    assert (colors, algorithm, trace_id) == (4, "linear", None)
     assert len(frames) == len(subgraphs)
     for graph, key, frame in zip(subgraphs, keys, frames):
         assert frame.error is None
@@ -87,6 +87,54 @@ class TestEquivalence:
         body_one = encode_components_frame([(key, flat)], 4, "linear")
         body_none = encode_components_frame([], 4, "linear")
         assert len(body_one) - len(body_none) == frame_size(flat, key)
+
+
+class TestFrameVersions:
+    def _entries(self):
+        graph = DecompositionGraph.from_edges([(0, 1), (1, 2)])
+        return [("k" * 64, graph.to_arrays())]
+
+    def test_untraced_frame_is_v1_and_byte_stable(self):
+        """No trace id → the exact pre-trace v1 bytes (old peers unaffected)."""
+        body = encode_components_frame(self._entries(), 4, "linear")
+        assert body[4] == 1
+        assert body == encode_components_frame(
+            self._entries(), 4, "linear", force_version=1
+        )
+        _, _, trace_id, frames = decode_components_frame(body)
+        assert trace_id is None and len(frames) == 1
+
+    def test_traced_frame_roundtrips_v2(self):
+        body = encode_components_frame(
+            self._entries(), 4, "linear", trace_id="deadbeefcafef00d"
+        )
+        assert body[4] == 2
+        colors, algorithm, trace_id, frames = decode_components_frame(body)
+        assert (colors, algorithm, trace_id) == (4, "linear", "deadbeefcafef00d")
+        assert frames[0].key == "k" * 64
+
+    def test_force_v1_drops_trace_field_only(self):
+        """The downgrade encoding: identical payload, trace stripped."""
+        v1 = encode_components_frame(
+            self._entries(), 4, "linear", trace_id="deadbeefcafef00d", force_version=1
+        )
+        assert v1 == encode_components_frame(self._entries(), 4, "linear")
+        _, _, trace_id, frames = decode_components_frame(v1)
+        assert trace_id is None and frames[0].error is None
+
+    def test_future_version_error_names_speakable_range(self):
+        body = bytearray(encode_components_frame(self._entries(), 4, "linear"))
+        body[4] = 3
+        with pytest.raises(
+            ComponentWireError, match="unsupported components frame version"
+        ):
+            decode_components_frame(bytes(body))
+
+    def test_overlong_trace_id_rejected_at_encode(self):
+        with pytest.raises(ComponentWireError):
+            encode_components_frame(
+                self._entries(), 4, "linear", trace_id="x" * 300
+            )
 
 
 class TestWireValueBounds:
@@ -168,7 +216,7 @@ class TestMalformedFrames:
         middle_graph_start = envelope + (1 + 4 + len(good_frame)) + (1 + 4)
         assert body[middle_graph_start] == 1  # flat frame version
         body[middle_graph_start] = 77
-        _, _, frames = decode_components_frame(bytes(body))
+        _, _, _, frames = decode_components_frame(bytes(body))
         assert [frame.error is None for frame in frames] == [True, False, True]
         assert "version" in frames[1].error
         assert isinstance(frames[0], ComponentFrame) and frames[0].flat is not None

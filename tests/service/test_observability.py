@@ -1,0 +1,200 @@
+"""Server-level observability: tracing, /trace, /watch, /metrics.
+
+The tentpole bar: enabling the journal and tracing must not change a
+single response byte, /trace must assemble a span tree whose top-level
+durations fit inside the measured wall time, and every /metrics payload
+must stay lint-clean with the histogram and build-info families present.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bench.factory import repeated_cell_layout, wire_row_layout
+from repro.core.decomposer import Decomposer
+from repro.obs.journal import read_journal
+from repro.obs.replay import check_events
+from repro.obs.trace import valid_trace_id
+from repro.service import ServerConfig, ServerThread, ServiceClient, ServiceError
+from repro.service.http import TRACE_HEADER
+from repro.service.metrics import lint_metrics_text
+from repro.service.protocol import build_options, canonical_json, result_to_payload
+
+pytestmark = [pytest.mark.service, pytest.mark.obs]
+
+
+def _direct_payload(layout, name, algorithm="linear", colors=4):
+    layer = layout.layers()[0]
+    result = Decomposer(build_options(colors, algorithm)).decompose(layout, layer=layer)
+    return result_to_payload(name, layer, result)
+
+
+def _server(tmp_path=None, **overrides):
+    config = ServerConfig(
+        port=0,
+        workers=1,
+        force_inline_pool=True,
+        journal_dir=str(tmp_path / "journal") if tmp_path is not None else None,
+        **overrides,
+    )
+    return ServerThread(config)
+
+
+class TestByteIdentity:
+    def test_journal_on_vs_off_responses_identical(self, tmp_path):
+        """Tracing must be invisible on the wire: same request, same bytes."""
+        layouts = [
+            ("cells", repeated_cell_layout(copies=4)),
+            ("wires", wire_row_layout(num_wires=4, wire_length=600)),
+        ]
+        responses = {}
+        for label, journaled in (("off", False), ("on", True)):
+            with _server(tmp_path if journaled else None) as (host, port):
+                client = ServiceClient(host, port)
+                client.wait_until_healthy()
+                responses[label] = [
+                    canonical_json(
+                        client.decompose(layout, name=name, algorithm="linear")
+                    )
+                    for name, layout in layouts
+                ]
+        assert responses["on"] == responses["off"]
+        for (name, layout), served in zip(layouts, responses["on"]):
+            assert served == canonical_json(_direct_payload(layout, name))
+        # The journaled run actually journaled, cleanly.
+        events = read_journal(str(tmp_path / "journal"))
+        assert len(events) >= 4  # received+completed per layout
+        assert check_events(events) == []
+
+
+class TestTraceEndpoint:
+    def test_trace_header_minted_and_tree_assembled(self, tmp_path):
+        with _server(tmp_path) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            client.decompose(
+                wire_row_layout(num_wires=3, wire_length=400),
+                name="w",
+                algorithm="linear",
+            )
+            trace_id = client.last_trace_id
+            assert valid_trace_id(trace_id)
+
+            trace = client.trace(trace_id)
+            assert trace["trace_id"] == trace_id
+            assert trace["status"] == "completed"
+            stages = [span["stage"] for span in trace["spans"]]
+            assert stages[0] == "parse" and "execute" in stages
+            # Acceptance: top-level span durations fit inside the wall time.
+            total = sum(span["seconds"] for span in trace["spans"])
+            assert 0.0 < total <= trace["wall_seconds"]
+
+    def test_supplied_trace_id_is_adopted(self, tmp_path):
+        supplied = "feedface00112233"
+        with _server(tmp_path) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            client.decompose(
+                wire_row_layout(num_wires=3, wire_length=400),
+                name="w",
+                algorithm="linear",
+                trace_id=supplied,
+            )
+            assert client.last_trace_id == supplied
+            assert client.trace(supplied)["status"] == "completed"
+
+    def test_unknown_trace_is_404(self, tmp_path):
+        with _server(tmp_path) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            with pytest.raises(ServiceError) as excinfo:
+                client.trace("0123456789abcdef")
+            assert excinfo.value.status == 404
+
+    def test_trace_and_watch_hint_when_journal_disabled(self):
+        with _server() as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            for call in (
+                lambda: client.trace("0123456789abcdef"),
+                lambda: list(client.watch_events(max_events=1)),
+            ):
+                with pytest.raises(ServiceError) as excinfo:
+                    call()
+                assert excinfo.value.status == 404
+                assert "--journal" in str(excinfo.value)
+
+
+class TestWatchStream:
+    def test_live_events_stream_over_sse(self, tmp_path):
+        with _server(tmp_path) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            received = []
+
+            def watch():
+                stream_client = ServiceClient(host, port, timeout=30.0)
+                for pair in stream_client.watch_events(max_events=3):
+                    received.append(pair)
+
+            watcher = threading.Thread(target=watch)
+            watcher.start()
+            # The SSE subscription is only live once the server registers it;
+            # publishing before that would race the watcher's first drain.
+            deadline = time.monotonic() + 5.0
+            while "repro_watch_subscribers 1" not in client.metrics_text():
+                assert time.monotonic() < deadline, "watcher never subscribed"
+                time.sleep(0.01)
+            client.decompose(
+                wire_row_layout(num_wires=3, wire_length=400),
+                name="w",
+                algorithm="linear",
+            )
+            watcher.join(timeout=30.0)
+            assert not watcher.is_alive()
+            names = [name for name, _ in received]
+            assert names == ["received", "divided", "merged"]
+            trace_id = client.last_trace_id
+            assert all(
+                payload["trace_id"] == trace_id for _, payload in received
+            )
+
+
+class TestMetrics:
+    def test_exposition_lints_and_carries_obs_families(self, tmp_path):
+        with _server(tmp_path) as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            client.decompose(
+                wire_row_layout(num_wires=3, wire_length=400),
+                name="w",
+                algorithm="linear",
+            )
+            text = client.metrics_text()
+        assert lint_metrics_text(text) == []
+        for family in (
+            "repro_stage_duration_seconds",
+            "repro_pool_queue_wait_seconds",
+            "repro_cache_lookup_seconds",
+            "repro_build_info",
+            "repro_journal_events_total",
+            "repro_watch_subscribers",
+        ):
+            assert f"# TYPE {family} " in text, family
+        assert 'repro_build_info{' in text and 'role="server"' in text
+        # The request actually moved the stage histograms.
+        assert 'repro_stage_duration_seconds_count{stage="execute"} 1' in text
+        # Stage series exist (at zero) even before any traffic touches them.
+        assert 'repro_stage_duration_seconds_count{stage="cache_lookup"} 0' in text
+
+    def test_metrics_lint_clean_without_journal_too(self):
+        with _server() as (host, port):
+            client = ServiceClient(host, port)
+            client.wait_until_healthy()
+            text = client.metrics_text()
+        assert lint_metrics_text(text) == []
+        assert "repro_stage_duration_seconds" in text
+        assert "repro_journal_events_total" not in text

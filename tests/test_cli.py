@@ -226,6 +226,81 @@ class TestStatsCommand:
         assert "metal1" in out and "4 shapes" in out
 
 
+@pytest.mark.obs
+class TestTraceCommand:
+    @pytest.fixture
+    def journal_dir(self, tmp_path):
+        from repro.obs.journal import EventJournal
+
+        journal = EventJournal(str(tmp_path))
+        journal.append({"event": "received", "trace_id": "a" * 16, "kind": "decompose"})
+        journal.append(
+            {
+                "event": "completed",
+                "trace_id": "a" * 16,
+                "wall_seconds": 0.25,
+                "spans": [{"stage": "parse", "offset": 0.0, "seconds": 0.01}],
+            }
+        )
+        journal.close()
+        return tmp_path
+
+    def test_listing_without_id(self, journal_dir, capsys):
+        assert main(["trace", "--journal", str(journal_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"{'a' * 16}  completed" in out
+        assert "2 events" in out and "1 traces" in out
+
+    def test_tree_for_one_trace(self, journal_dir, capsys):
+        assert main(["trace", "--journal", str(journal_dir), "a" * 16]) == 0
+        out = capsys.readouterr().out
+        assert "status=completed" in out and "parse" in out
+
+    def test_json_output_is_parseable(self, journal_dir, capsys):
+        assert main(["trace", "--journal", str(journal_dir), "a" * 16, "--json"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["trace_id"] == "a" * 16
+        assert trace["status"] == "completed"
+
+    def test_unknown_trace_id_fails(self, journal_dir, capsys):
+        assert main(["trace", "--journal", str(journal_dir), "b" * 16]) == 1
+        assert "no journaled events" in capsys.readouterr().err
+
+    def test_empty_journal_lists_zero_traces(self, tmp_path, capsys):
+        assert main(["trace", "--journal", str(tmp_path / "missing")]) == 0
+        assert "0 traces" in capsys.readouterr().out
+
+
+@pytest.mark.obs
+class TestObservabilityFlags:
+    def test_serve_accepts_journal_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal", "/tmp/j", "--journal-fsync", "--log-level", "info"]
+        )
+        assert args.journal == "/tmp/j"
+        assert args.journal_fsync is True
+        assert args.journal_segment_mb == 4
+        assert args.log_level == "info"
+
+    def test_coordinator_accepts_journal_flags(self):
+        args = build_parser().parse_args(
+            [
+                "cluster",
+                "coordinator",
+                "--peers",
+                "h:1",
+                "--journal",
+                "/tmp/j",
+            ]
+        )
+        assert args.journal == "/tmp/j"
+
+    def test_bad_log_level_is_clean_configuration_error(self, capsys):
+        exit_code = main(["serve", "--port", "0", "--log-level", "shouty"])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestGenerateCommand:
     def test_generate_json(self, tmp_path, capsys):
         output = tmp_path / "c432.json"
