@@ -1,0 +1,192 @@
+"""Benchmark: what observability costs the serving path.
+
+The observability control plane rides every request (journal appends,
+span collection) and a background scrape loop (federation).  This harness
+pins both costs with numbers:
+
+* **request overhead** — end-to-end ``POST /decompose`` latency against
+  an in-process server with the event journal *off* vs *on* (same layout,
+  same inline pool).  The delta is what ``--journal DIR`` costs a caller
+  per request;
+* **scrape-loop cost** — wall time of one federation round
+  (``scrape_once``: fetch + parse every target) and of rendering the
+  merged ``/cluster/metrics`` view, swept over fleet sizes, using one
+  real server ``/metrics`` payload per simulated node.  This is the
+  coordinator-side budget the ``--scrape-interval`` knob spends.
+
+Run standalone to (re)record ``benchmarks/artifacts/obs_overhead.json``::
+
+    python benchmarks/bench_obs_overhead.py           # full sweep
+    python benchmarks/bench_obs_overhead.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.factory import wire_row_layout
+from repro.obs.federate import FederationConfig, MetricsFederator
+from repro.service import ServerConfig, ServerThread, ServiceClient
+
+ARTIFACT_PATH = Path(__file__).parent / "artifacts" / "obs_overhead.json"
+
+
+def _measure_request_latency(
+    journal_dir: Optional[str], requests: int, warmup: int
+) -> dict:
+    """Per-request POST /decompose wall times against one inline server."""
+    layout = wire_row_layout(num_wires=6, wire_length=800)
+    config = ServerConfig(
+        port=0, workers=1, force_inline_pool=True, journal_dir=journal_dir
+    )
+    with ServerThread(config) as (host, port):
+        client = ServiceClient(host, port)
+        client.wait_until_healthy()
+        for i in range(warmup):
+            client.decompose(layout, name=f"warm{i}", algorithm="linear")
+        samples: List[float] = []
+        for i in range(requests):
+            start = time.perf_counter()
+            client.decompose(layout, name=f"req{i}", algorithm="linear")
+            samples.append(time.perf_counter() - start)
+        client.close()
+    samples.sort()
+    return {
+        "requests": requests,
+        "min_us": round(samples[0] * 1e6, 1),
+        "median_us": round(statistics.median(samples) * 1e6, 1),
+        "p90_us": round(samples[int(len(samples) * 0.9) - 1] * 1e6, 1),
+    }
+
+
+def _measure_scrape_round(num_nodes: int, repeats: int) -> dict:
+    """One federation round + merged render over ``num_nodes`` targets.
+
+    Uses a real server ``/metrics`` payload per target (captured once), so
+    the parse and merge see production-shaped expositions; the fetch
+    callable is local, isolating the CPU cost from network noise.
+    """
+    with ServerThread(
+        ServerConfig(port=0, workers=1, force_inline_pool=True)
+    ) as (host, port):
+        client = ServiceClient(host, port)
+        client.wait_until_healthy()
+        layout = wire_row_layout(num_wires=4, wire_length=600)
+        client.decompose(layout, name="sample", algorithm="linear")
+        exposition = client.metrics_text()
+        client.close()
+
+    federator = MetricsFederator(
+        targets=[
+            (f"node-{i}:800{i}", lambda text=exposition: text)
+            for i in range(num_nodes)
+        ],
+        config=FederationConfig(scrape_interval=3600.0, staleness_seconds=3600.0),
+    )
+    scrape_times: List[float] = []
+    merge_times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        federator.scrape_once()
+        scrape_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        families = federator.merged_families()
+        merge_times.append(time.perf_counter() - start)
+    assert families  # the merged view is non-trivial
+    return {
+        "nodes": num_nodes,
+        "exposition_bytes": len(exposition),
+        "scrape_round_ms": round(min(scrape_times) * 1e3, 3),
+        "merge_render_ms": round(min(merge_times) * 1e3, 3),
+        "per_node_scrape_us": round(min(scrape_times) / num_nodes * 1e6, 1),
+    }
+
+
+def record_artifact(quick: bool = False, path: Path = ARTIFACT_PATH) -> dict:
+    requests = 10 if quick else 40
+    warmup = 2 if quick else 5
+    fleet_sizes = [2, 8] if quick else [2, 8, 32]
+    scrape_repeats = 3 if quick else 7
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        journal_off = _measure_request_latency(None, requests, warmup)
+        journal_on = _measure_request_latency(
+            str(Path(tmp) / "journal"), requests, warmup
+        )
+    delta_us = round(journal_on["median_us"] - journal_off["median_us"], 1)
+    overhead_pct = (
+        round(100.0 * delta_us / journal_off["median_us"], 2)
+        if journal_off["median_us"]
+        else None
+    )
+
+    scrape_rows = [
+        _measure_scrape_round(nodes, scrape_repeats) for nodes in fleet_sizes
+    ]
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "quick": quick,
+        "note": (
+            "request latencies are per-request wall times against one "
+            "inline-pool server (shared-runner numbers are noisy; the "
+            "committed artifact is recorded on a quiet box); scrape and "
+            "merge timings are best-of CPU costs over local targets"
+        ),
+        "request_latency": {
+            "journal_off": journal_off,
+            "journal_on": journal_on,
+            "journal_delta_median_us": delta_us,
+            "journal_overhead_pct": overhead_pct,
+        },
+        "scrape_loop": scrape_rows,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer requests and fleet sizes",
+    )
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=ARTIFACT_PATH,
+        help=f"artifact output path (default: {ARTIFACT_PATH})",
+    )
+    args = parser.parse_args(argv)
+    payload = record_artifact(quick=args.quick, path=args.artifact)
+    latency = payload["request_latency"]
+    print(
+        f"request median: journal off {latency['journal_off']['median_us']:.0f}us, "
+        f"on {latency['journal_on']['median_us']:.0f}us "
+        f"(delta {latency['journal_delta_median_us']:+.0f}us, "
+        f"{latency['journal_overhead_pct']:+.1f}%)"
+    )
+    for row in payload["scrape_loop"]:
+        print(
+            f"scrape round over {row['nodes']:2d} nodes: "
+            f"{row['scrape_round_ms']:7.3f}ms "
+            f"({row['per_node_scrape_us']:.0f}us/node), "
+            f"merged render {row['merge_render_ms']:.3f}ms"
+        )
+    print(f"artifact written to {args.artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

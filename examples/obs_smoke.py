@@ -13,7 +13,12 @@ cluster with the event journal enabled on every process (exactly what
    top-level stage durations fit inside the measured wall time,
 4. lints the Prometheus ``/metrics`` payload of the coordinator and of a
    node,
-5. replays every journal directory and verifies the lifecycle invariants.
+5. fetches the federated ``GET /cluster/metrics`` view, checks it is
+   lint-clean, reports every target ``up``, and sums the node request
+   counters exactly,
+6. folds the coordinator journal into per-client usage rollups twice and
+   checks the checkpoints are byte-identical,
+7. replays every journal directory and verifies the lifecycle invariants.
 
 Run with:  python examples/obs_smoke.py [JOURNAL_ROOT]
 
@@ -35,8 +40,9 @@ from repro.cluster import ClusterClient, CoordinatorConfig, CoordinatorThread
 from repro.core.decomposer import Decomposer
 from repro.obs.journal import read_journal
 from repro.obs.replay import check_events
+from repro.obs.usage import fold_usage, render_checkpoint
 from repro.service import ServerConfig, ServerThread, ServiceClient
-from repro.service.metrics import lint_metrics_text
+from repro.service.metrics import lint_metrics_text, parse_metrics_text
 from repro.service.protocol import build_options, canonical_json, result_to_payload
 
 TRACE_ID = "0b5e17ab1e57ace5"
@@ -132,13 +138,46 @@ def main(journal_root: Path) -> None:
             assert "repro_stage_duration_seconds" in text
             assert "repro_build_info" in text
         print("metrics lint clean on coordinator and node")
+
+        # 5. the federated fleet view: lint-clean, every target up, node
+        # counters summed exactly.
+        federated_text = client.metrics_text("/cluster/metrics?refresh=1")
+        problems = lint_metrics_text(federated_text)
+        assert problems == [], problems
+        federated = parse_metrics_text(federated_text)
+        node_scrapes = [
+            parse_metrics_text(ServiceClient(*node.address).metrics_text())
+            for node in nodes
+        ]
+        for node_id in ["coordinator"] + peers:
+            assert federated.value("up", {"node": node_id}) == 1, node_id
+        served_sample = ("repro_server_requests_total", {"result": "served"})
+        served_sum = sum(s.value(*served_sample) for s in node_scrapes)
+        assert federated.value(*served_sample) == served_sum, (
+            federated.value(*served_sample),
+            served_sum,
+        )
+        assert "repro_slo_error_burn_rate" in federated_text
+        assert "repro_process_uptime_seconds" in federated_text
+        print(
+            f"federated /cluster/metrics lint clean; up=1 x{1 + len(peers)}; "
+            f"served sum exact ({int(served_sum)})"
+        )
     finally:
         if coordinator is not None:
             coordinator.stop()
         for node in nodes:
             node.stop()
 
-    # 5. replay every journal with the invariant checker.
+    # 6. deterministic usage metering over the coordinator journal.
+    coordinator_events = read_journal(str(journal_root / "coordinator"))
+    first = render_checkpoint(fold_usage(coordinator_events))
+    second = render_checkpoint(fold_usage(list(coordinator_events)))
+    assert first == second, "usage checkpoint is not byte-identical"
+    assert '"layouts_total":1' in first, first
+    print(f"usage fold byte-identical ({len(first.splitlines())} lines)")
+
+    # 7. replay every journal with the invariant checker.
     for directory in sorted(journal_root.iterdir()):
         events = read_journal(str(directory))
         problems = check_events(events)

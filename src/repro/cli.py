@@ -1,6 +1,6 @@
 """Command line interface.
 
-Eight subcommands::
+Ten subcommands::
 
     repro-decompose decompose INPUT [--algorithm linear --colors 4 --output masks.gds]
     repro-decompose batch INPUT [INPUT ...] [--workers 4 --cache-db cells.db --json report.json]
@@ -9,7 +9,9 @@ Eight subcommands::
     repro-decompose prefill --cache-db cells.db INPUT [INPUT ...]
     repro-decompose stats INPUT
     repro-decompose generate CIRCUIT [--scale 0.35 --output circuit.json]
-    repro-decompose trace --journal DIR [TRACE_ID] [--json]
+    repro-decompose trace --journal DIR [TRACE_ID] [--since SEQ|ISO --limit N] [--json]
+    repro-decompose usage --journal DIR [--checkpoint FILE] [--json]
+    repro-decompose status --coordinator HOST:PORT [--watch --interval 2]
 
 ``INPUT`` may be a GDSII file (``.gds``/``.gdsii``) or a JSON layout produced
 by this library.  The decompose command writes the masks as a GDSII or JSON
@@ -232,6 +234,8 @@ def _cmd_cluster_node(args: argparse.Namespace) -> int:
 
 def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
     from repro.cluster import CoordinatorConfig, run_coordinator
+    from repro.errors import ConfigurationError
+    from repro.obs.slo import parse_slo_spec
 
     _setup_cli_logging(args, "coordinator")
     peers = [
@@ -240,6 +244,10 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
         for peer in chunk.split(",")
         if peer.strip()
     ]
+    try:
+        parse_slo_spec(args.slo)  # fail a typo at startup, not at /slo time
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid --slo spec: {exc}") from exc
     config = CoordinatorConfig(
         host=args.host,
         port=args.port,
@@ -257,8 +265,38 @@ def _cmd_cluster_coordinator(args: argparse.Namespace) -> int:
         journal_dir=args.journal,
         journal_fsync=args.journal_fsync,
         journal_segment_bytes=args.journal_segment_mb * 1024 * 1024,
+        scrape_interval=args.scrape_interval,
+        scrape_timeout=args.scrape_timeout,
+        metrics_staleness_seconds=args.metrics_staleness,
+        slo=args.slo,
+        slo_window_seconds=args.slo_window,
     )
     return run_coordinator(config)
+
+
+def _parse_since(text: Optional[str]):
+    """``--since`` accepts a journal sequence number or an ISO timestamp.
+
+    Returns ``(since_seq, since_ts)`` — exactly one is set.  An all-digit
+    value is a seq (matches what ``trace`` listings and journal lines
+    print); anything else must parse as ``datetime.fromisoformat``.
+    """
+    from datetime import datetime
+
+    from repro.errors import ConfigurationError
+
+    if text is None:
+        return None, None
+    text = text.strip()
+    if text.isdigit():
+        return int(text), None
+    try:
+        return None, datetime.fromisoformat(text).timestamp()
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"--since {text!r} is neither a sequence number nor an ISO "
+            f"timestamp (try 12345 or 2026-01-31T12:00:00)"
+        ) from exc
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -266,8 +304,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.journal import read_journal
     from repro.obs.trace import assemble_trace, format_trace_tree
 
+    since_seq, since_ts = _parse_since(args.since)
     try:
-        events = read_journal(args.journal)
+        events = read_journal(
+            args.journal,
+            since_seq=since_seq,
+            since_ts=since_ts,
+            limit=args.limit,
+        )
     except OSError as exc:
         raise ConfigurationError(
             f"cannot read journal {args.journal!r}: {exc}"
@@ -297,6 +341,111 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print(format_trace_tree(trace))
     return 0
+
+
+def _cmd_usage(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs.journal import read_journal
+    from repro.obs.usage import fold_usage, format_usage_table, render_checkpoint
+
+    try:
+        events = read_journal(args.journal)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read journal {args.journal!r}: {exc}"
+        ) from exc
+    rollup = fold_usage(events)
+    if args.checkpoint:
+        text = render_checkpoint(rollup)
+        Path(args.checkpoint).write_text(text, encoding="utf-8")
+        print(
+            f"usage checkpoint: {rollup['meta']['clients']} client(s) over "
+            f"{rollup['meta']['events']} events -> {args.checkpoint}"
+        )
+        return 0
+    if args.json:
+        sys.stdout.write(render_checkpoint(rollup))
+    else:
+        print(format_usage_table(rollup))
+    return 0
+
+
+def _format_slo_status(payload: dict) -> str:
+    """Render one ``GET /slo`` payload as a compact status block.
+
+    Pure function of the payload — ``status --watch`` re-renders it every
+    poll and tests assert on it without a cluster.
+    """
+    target = payload["target"]
+    latency = payload["latency"]
+    errors = payload["errors"]
+    nodes = payload.get("nodes") or {}
+
+    def seconds(value) -> str:
+        return "n/a" if value is None else f"{value * 1000:.1f}ms"
+
+    quantile_pct = target["quantile"] * 100
+    quantile_pct_text = f"{quantile_pct:g}"
+    estimate = latency["estimate_seconds"]
+    within = latency["within_target"]
+    verdict = "n/a" if within is None else ("OK" if within else "MISS")
+    lines = [
+        f"slo: p{quantile_pct_text} < {target['latency_seconds']:g}s, "
+        f"err < {target['error_ratio'] * 100:g}%",
+    ]
+    if nodes:
+        lines.append(f"nodes: {nodes.get('alive', '?')}/{nodes.get('total', '?')} alive")
+    lines.append(
+        f"latency: p{quantile_pct_text}={seconds(estimate)} [{verdict}] "
+        f"over {latency['observations']} observations"
+    )
+    percentiles = ", ".join(
+        f"{name}={seconds(value)}"
+        for name, value in sorted(latency["percentiles"].items())
+    )
+    lines.append(f"percentiles: {percentiles}")
+    lines.append(
+        f"errors: {errors['window_errors']}/{errors['window_requests']} "
+        f"in {errors['window_span_seconds']:g}s window "
+        f"(ratio {errors['ratio'] * 100:.3f}%)"
+    )
+    lines.append(
+        f"burn rate: {errors['burn_rate']:.2f}x budget "
+        f"(remaining {errors['budget_remaining'] * 100:.1f}%)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.cluster.membership import parse_peer
+    from repro.service.client import ServiceClient, ServiceError
+
+    host, port = parse_peer(args.coordinator)
+    client = ServiceClient(host, port, timeout=args.timeout)
+    try:
+        while True:
+            try:
+                payload = client.slo()
+            except ServiceError as exc:
+                print(f"error: coordinator unreachable: {exc}", file=sys.stderr)
+                if not args.watch:
+                    return 1
+            else:
+                if args.json:
+                    print(json.dumps(payload, indent=2, sort_keys=True))
+                else:
+                    print(_format_slo_status(payload))
+                if not args.watch:
+                    return 0
+                print()
+            try:
+                _time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+    finally:
+        client.close()
 
 
 def _cmd_prefill(args: argparse.Namespace) -> int:
@@ -660,6 +809,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="largest accepted request body in MiB",
     )
+    coordinator.add_argument(
+        "--slo",
+        default="p99=2s,err=0.1%",
+        metavar="SPEC",
+        help=(
+            "declarative SLO target for GET /slo and the repro_slo_* gauges "
+            "on GET /cluster/metrics, e.g. p99=2s,err=0.1%% or p95=500ms"
+        ),
+    )
+    coordinator.add_argument(
+        "--slo-window",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="rolling window for error-budget burn-rate accounting",
+    )
+    coordinator.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how often the coordinator scrapes each node's /metrics",
+    )
+    coordinator.add_argument(
+        "--scrape-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-node /metrics scrape timeout",
+    )
+    coordinator.add_argument(
+        "--metrics-staleness",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "age out a node's samples from GET /cluster/metrics after this "
+            "long without a fresh scrape (default: 3x --scrape-interval)"
+        ),
+    )
     _add_observability_flags(coordinator)
     coordinator.set_defaults(func=_cmd_cluster_coordinator)
 
@@ -723,9 +912,90 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_id", nargs="?", default=None, help="trace id to assemble and print"
     )
     trace.add_argument(
+        "--since",
+        default=None,
+        metavar="SEQ|ISO",
+        help=(
+            "only events after journal sequence SEQ, or at/after an ISO "
+            "timestamp (skips whole segments via their first-event index)"
+        ),
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the last N matching events",
+    )
+    trace.add_argument(
         "--json", action="store_true", help="print the assembled trace as JSON"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    usage = subparsers.add_parser(
+        "usage",
+        help="fold a journal into deterministic per-client usage rollups",
+        description=(
+            "Meter a '--journal DIR' server or coordinator: fold its "
+            "lifecycle events into per-client rollups (requests by kind, "
+            "layouts by name, components solved, cache hits, bytes in/out, "
+            "wall time by stage).  Clients self-identify via the "
+            "X-Repro-Client request header; requests without one meter "
+            "under 'anonymous'.  The fold is deterministic: re-running "
+            "over the same journal is byte-identical, so a checkpoint can "
+            "be audited by re-folding."
+        ),
+    )
+    usage.add_argument(
+        "--journal", required=True, metavar="DIR", help="journal directory to read"
+    )
+    usage.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="write the versioned JSONL checkpoint to FILE instead of printing",
+    )
+    usage.add_argument(
+        "--json",
+        action="store_true",
+        help="print the checkpoint JSONL instead of the human table",
+    )
+    usage.set_defaults(func=_cmd_usage)
+
+    status = subparsers.add_parser(
+        "status",
+        help="live SLO status of a cluster coordinator (latency + burn rate)",
+        description=(
+            "Poll a coordinator's GET /slo and print latency quantile "
+            "estimates (from the cluster-merged execute-stage histogram), "
+            "error-budget burn rate over the rolling window, and node "
+            "liveness.  With --watch, re-polls every --interval seconds "
+            "until interrupted."
+        ),
+    )
+    status.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to poll",
+    )
+    status.add_argument(
+        "--watch", action="store_true", help="keep polling until interrupted"
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval with --watch",
+    )
+    status.add_argument(
+        "--timeout", type=float, default=5.0, help="per-poll HTTP timeout"
+    )
+    status.add_argument(
+        "--json", action="store_true", help="print the raw /slo payload as JSON"
+    )
+    status.set_defaults(func=_cmd_status)
 
     stats = subparsers.add_parser("stats", help="print layout statistics")
     stats.add_argument("input", help="input layout (.gds or .json)")

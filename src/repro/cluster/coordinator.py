@@ -67,8 +67,10 @@ from repro.graph.construction import build_decomposition_graph
 from repro.graph.decomposition_graph import DecompositionGraph
 from repro.cluster.membership import Membership, NoNodesAvailable
 from repro.graph.flat import FlatGraph
+from repro.obs.federate import FederationConfig, MetricsFederator
 from repro.obs.journal import DEFAULT_SEGMENT_BYTES
 from repro.obs.observer import ObsConfig, Observer
+from repro.obs.slo import DEFAULT_SLO_SPEC, SloEngine, parse_slo_spec
 from repro.runtime.component_io import (
     ComponentErrorEntry,
     ComponentSolve,
@@ -82,9 +84,11 @@ from repro.runtime.wire_binary import encode_components_frame, frame_size
 from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.http import (
+    CLIENT_HEADER,
     DEFAULT_MAX_BODY_BYTES,
     TRACE_HEADER,
     HttpRequest,
+    client_identity,
     error_body,
     json_body,
 )
@@ -105,6 +109,12 @@ from repro.service.protocol import (
 )
 
 logger = logging.getLogger("repro.cluster.coordinator")
+
+#: Node id the coordinator federates itself under in ``/cluster/metrics``:
+#: its own exposition is rendered locally (no HTTP loopback) and merged
+#: next to the peer scrapes, so ``up{node="coordinator"}`` and the
+#: coordinator's stage histograms live in the same fleet view.
+SELF_NODE_ID = "coordinator"
 
 
 def _estimate_json_wire_bytes(flat: FlatGraph) -> int:
@@ -213,6 +223,18 @@ class CoordinatorConfig:
     watch_queue_limit: int = 256
     #: Seconds between SSE heartbeat comments on an idle ``GET /watch``.
     watch_heartbeat_seconds: float = 10.0
+    #: Seconds between federation scrapes of every node's ``/metrics``.
+    scrape_interval: float = 5.0
+    #: Connection/read timeout of one federation scrape.
+    scrape_timeout: float = 2.0
+    #: Seconds after which a node's last scrape ages out of the merged
+    #: ``GET /cluster/metrics`` view; ``None`` means 3x ``scrape_interval``.
+    metrics_staleness_seconds: Optional[float] = None
+    #: Declarative SLO target for ``GET /slo`` and the ``repro_slo_*``
+    #: gauges, e.g. ``p99=2s,err=0.1%``.
+    slo: str = DEFAULT_SLO_SPEC
+    #: Rolling window (seconds) of the error-budget burn-rate accounting.
+    slo_window_seconds: float = 300.0
 
 
 class ClusterCoordinator(BaseHttpServer):
@@ -285,6 +307,37 @@ class ClusterCoordinator(BaseHttpServer):
                 role="coordinator",
             )
         )
+        # --- cluster observability control plane -------------------------
+        # A bad --slo spec must fail construction, not the first /slo hit.
+        self.slo_engine = SloEngine(
+            parse_slo_spec(config.slo), config.slo_window_seconds
+        )
+        #: Dedicated scrape clients: the fan-out clients run with the long
+        #: component timeout, while a scrape must give up fast so one hung
+        #: node cannot stall the whole federation round.
+        self._scrape_clients = {
+            node.node_id: ServiceClient(
+                node.host, node.port, timeout=config.scrape_timeout
+            )
+            for node in self.membership.nodes()
+        }
+        staleness = config.metrics_staleness_seconds
+        if staleness is None:
+            staleness = 3.0 * config.scrape_interval
+        targets = [(SELF_NODE_ID, self._own_metrics_text)]
+        targets += [
+            (node_id, client.metrics_text)
+            for node_id, client in sorted(self._scrape_clients.items())
+        ]
+        self.federator = MetricsFederator(
+            targets,
+            FederationConfig(
+                scrape_interval=config.scrape_interval,
+                staleness_seconds=staleness,
+            ),
+            liveness=self._live_node_ids,
+            after_round=self._record_slo_sample,
+        )
 
     # ------------------------------------------------------------ lifecycle
     async def _on_start(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -300,6 +353,7 @@ class ClusterCoordinator(BaseHttpServer):
             thread_name_prefix="repro-coord-fanout",
         )
         self.membership.start()
+        self.federator.start()
 
     async def _on_bind_failed(self, loop: asyncio.AbstractEventLoop) -> None:
         await loop.run_in_executor(None, self._close_backend)
@@ -308,6 +362,7 @@ class ClusterCoordinator(BaseHttpServer):
         await loop.run_in_executor(None, self._close_backend)
 
     def _close_backend(self) -> None:
+        self.federator.stop()
         self.membership.stop()
         if self._jobs_executor is not None:
             self._jobs_executor.shutdown(wait=True)
@@ -316,6 +371,8 @@ class ClusterCoordinator(BaseHttpServer):
             self._fanout_executor.shutdown(wait=True)
             self._fanout_executor = None
         for client in self._clients.values():
+            client.close()
+        for client in self._scrape_clients.values():
             client.close()
 
     # ------------------------------------------------------------- requests
@@ -334,6 +391,10 @@ class ClusterCoordinator(BaseHttpServer):
             return 200, text.encode("utf-8"), {"Content-Type": METRICS_CONTENT_TYPE}
         if route == ("GET", "/ring"):
             return 200, json_body(self._ring_view()), None
+        if route == ("GET", "/cluster/metrics"):
+            return await self._serve_cluster_metrics(request)
+        if route == ("GET", "/slo"):
+            return await self._serve_slo(request)
         observability = await self._dispatch_observability(request)
         if observability is not None:
             return observability
@@ -346,6 +407,8 @@ class ClusterCoordinator(BaseHttpServer):
             "/stats",
             "/metrics",
             "/ring",
+            "/cluster/metrics",
+            "/slo",
             "/decompose",
             "/batch",
             "/watch",
@@ -364,7 +427,13 @@ class ClusterCoordinator(BaseHttpServer):
         loop = asyncio.get_running_loop()
         kind = "batch" if batch else "decompose"
         ctx = self.obs.begin(request.headers.get(TRACE_HEADER.lower()))
-        self.obs.emit(ctx, "received", kind=kind)
+        self.obs.emit(
+            ctx,
+            "received",
+            kind=kind,
+            client=client_identity(request.headers.get(CLIENT_HEADER.lower())),
+            bytes_in=len(request.body),
+        )
 
         def _decode_jobs() -> List[Dict]:
             payload = request.json()
@@ -418,6 +487,8 @@ class ClusterCoordinator(BaseHttpServer):
             layouts=len(results),
             conflicts=sum(r.get("conflicts", 0) for r in results),
             stitches=sum(r.get("stitches", 0) for r in results),
+            names=[str(r.get("name", "")) for r in results],
+            bytes_out=len(body),
         )
         return 200, body, self._trace_headers(ctx)
 
@@ -905,6 +976,85 @@ class ClusterCoordinator(BaseHttpServer):
         families = [build_info_family("coordinator")]
         families.extend(observability_families(self.obs))
         return families
+
+    # -------------------------------------------- cluster observability
+    def _own_metrics_text(self) -> str:
+        """The coordinator's node-level exposition, as the federator's
+        local scrape target (identical to what ``GET /metrics`` serves)."""
+        return coordinator_metrics_text(
+            self._stats(), extra_families=self._metrics_extras()
+        )
+
+    def _live_node_ids(self) -> set:
+        alive = self.membership.alive_ids()
+        alive.add(SELF_NODE_ID)
+        return alive
+
+    def _record_slo_sample(self) -> None:
+        """Feed one (total, errors) counter sample per federation round.
+
+        Errors are the coordinator's own terminal failures + timeouts;
+        shed requests (503) count as traffic but not as budget spend —
+        backpressure is the overload contract working, not an outage.
+        """
+        counters = self._counters
+        served = counters.get("served", 0)
+        failed = counters.get("failed", 0)
+        timeouts = counters.get("timeouts", 0)
+        rejected = counters.get("rejected", 0)
+        self.slo_engine.record_errors(
+            time.monotonic(),
+            served + failed + timeouts + rejected,
+            failed + timeouts,
+        )
+
+    def _slo_latency_snapshot(self):
+        """Cluster-merged execute-stage histogram: every request-execute
+        span in the fleet (coordinator layouts + node micro-batches)."""
+        return self.federator.merged_histogram(
+            "repro_stage_duration_seconds", {"stage": "execute"}
+        )
+
+    def _cluster_metrics_text(self) -> str:
+        families = list(self.federator.merged_families())
+        families.extend(self.slo_engine.families(self._slo_latency_snapshot()))
+        return render_metrics(families)
+
+    @staticmethod
+    def _wants_refresh(request: HttpRequest) -> bool:
+        query = request.path.partition("?")[2]
+        return any(
+            part.split("=", 1)[0] == "refresh"
+            for part in query.split("&")
+            if part
+        )
+
+    async def _serve_cluster_metrics(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        loop = asyncio.get_running_loop()
+        # ?refresh=1 (and the very first hit, before the background round)
+        # forces a synchronous scrape so tests and operators get a
+        # deterministic, current view instead of waiting out the interval.
+        if self._wants_refresh(request) or not self.federator.scraped:
+            await loop.run_in_executor(None, self.federator.scrape_once)
+        text = await loop.run_in_executor(None, self._cluster_metrics_text)
+        return 200, text.encode("utf-8"), {"Content-Type": METRICS_CONTENT_TYPE}
+
+    async def _serve_slo(
+        self, request: HttpRequest
+    ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        loop = asyncio.get_running_loop()
+        if self._wants_refresh(request) or not self.federator.scraped:
+            await loop.run_in_executor(None, self.federator.scrape_once)
+        payload = await loop.run_in_executor(
+            None, lambda: self.slo_engine.status(self._slo_latency_snapshot())
+        )
+        payload["nodes"] = {
+            "alive": self.membership.alive_count(),
+            "total": len(self.membership),
+        }
+        return 200, json_body(payload), None
 
     def _healthz(self) -> Dict[str, object]:
         return {

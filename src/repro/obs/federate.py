@@ -1,0 +1,348 @@
+"""Cluster metrics federation: scrape every node, merge one fleet view.
+
+The coordinator owns one :class:`MetricsFederator`.  A background thread
+(riding the same static-peers membership the heartbeat prober uses)
+periodically fetches each node's ``/metrics`` text exposition, parses it
+with :func:`repro.service.metrics.parse_metrics_text`, and keeps the last
+scrape per node.  ``GET /cluster/metrics`` then renders the merged view:
+
+* **counters** summed across fresh nodes per label set — fleet totals a
+  dashboard can rate() directly;
+* **gauges** re-emitted once per node with an added ``node="host:port"``
+  label — gauges (queue depth, RSS, inflight) are only meaningful per
+  process;
+* **histograms** bucket-merged via :meth:`HistogramSnapshot.merge`
+  (identical bucket schemas required; a mismatched node — say a different
+  build — is skipped and counted in
+  ``repro_federation_merge_conflicts_total`` instead of corrupting the
+  merged series);
+* ``up{node=}``/scrape-age gauges per configured target, with a staleness
+  window: a dead node's last scrape *ages out* of the merged numbers
+  after ``staleness_seconds`` rather than lying in the sums forever.
+
+The coordinator itself participates as the ``coordinator`` target through
+a local render callable (no HTTP loopback), so its stage histograms and
+process telemetry appear in the same fleet view.
+
+Scrapes are pull-based and the merge is pure computation over the last
+parsed payloads; ``scrape_once()`` is public so tests and the
+``?refresh=1`` query parameter can force a deterministic round without
+waiting out the interval.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.hist import HistogramSnapshot
+
+#: A scrape target: stable node id + a callable returning exposition text.
+Target = Tuple[str, Callable[[], str]]
+
+#: Family types the merge understands; anything else is passed through
+#: per-node-labelled like a gauge (summaries never occur in this codebase).
+_SUMMABLE = "counter"
+
+
+@dataclass
+class FederationConfig:
+    scrape_interval: float = 5.0
+    #: A node whose last successful scrape is older than this is treated as
+    #: absent: its samples leave the merged view and its ``up`` goes 0.
+    staleness_seconds: float = 15.0
+
+
+class NodeScrape:
+    """Last scrape outcome for one target."""
+
+    __slots__ = ("ok", "at", "parsed", "error", "duration", "problems")
+
+    def __init__(self, ok, at, parsed, error, duration, problems) -> None:
+        self.ok = ok
+        self.at = at
+        self.parsed = parsed
+        self.error = error
+        self.duration = duration
+        self.problems = problems
+
+
+class MetricsFederator:
+    """Scrapes a fixed target set and merges the freshest payloads."""
+
+    def __init__(
+        self,
+        targets: Sequence[Target],
+        config: Optional[FederationConfig] = None,
+        liveness: Optional[Callable[[], set]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        after_round: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.config = config or FederationConfig()
+        self._targets: List[Target] = list(targets)
+        self._order = [node_id for node_id, _ in self._targets]
+        self._liveness = liveness
+        self._clock = clock
+        self._after_round = after_round
+        self._scrapes: Dict[str, NodeScrape] = {}
+        self._lock = threading.Lock()
+        self._scrape_serial = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.rounds = 0
+        self.scrape_errors = 0
+        self.merge_conflicts = 0
+        self.parse_problems = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="metrics-federator", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        # First round immediately: an operator hitting /cluster/metrics
+        # right after startup should not stare at an all-down fleet for a
+        # full interval.
+        while not self._stop.is_set():
+            try:
+                self.scrape_once()
+            except Exception:  # pragma: no cover - defensive; scrape_once guards per-target
+                pass
+            self._stop.wait(self.config.scrape_interval)
+
+    # -- scraping ---------------------------------------------------------
+
+    def scrape_once(self) -> None:
+        """One synchronous round over every target (serialized)."""
+        from repro.service.metrics import parse_metrics_text
+
+        with self._scrape_serial:
+            for node_id, fetch in self._targets:
+                started = self._clock()
+                try:
+                    parsed = parse_metrics_text(fetch())
+                except Exception as exc:
+                    with self._lock:
+                        self.scrape_errors += 1
+                        self._scrapes[node_id] = NodeScrape(
+                            False, self._clock(), None, str(exc),
+                            self._clock() - started, 0,
+                        )
+                    continue
+                with self._lock:
+                    self.parse_problems += len(parsed.problems)
+                    self._scrapes[node_id] = NodeScrape(
+                        True, self._clock(), parsed, None,
+                        self._clock() - started, len(parsed.problems),
+                    )
+            with self._lock:
+                self.rounds += 1
+            if self._after_round is not None:
+                self._after_round()
+
+    @property
+    def scraped(self) -> bool:
+        with self._lock:
+            return self.rounds > 0
+
+    def _fresh(self) -> Tuple[Dict[str, NodeScrape], Dict[str, NodeScrape], float]:
+        """(all scrapes, fresh-ok scrapes, now) under one lock pass."""
+        now = self._clock()
+        window = self.config.staleness_seconds
+        with self._lock:
+            scrapes = dict(self._scrapes)
+        fresh = {
+            node_id: scrape
+            for node_id, scrape in scrapes.items()
+            if scrape.ok and (now - scrape.at) <= window
+        }
+        return scrapes, fresh, now
+
+    # -- merged views -----------------------------------------------------
+
+    def merged_histogram(
+        self, family: str, labels: Dict[str, str]
+    ) -> Optional[HistogramSnapshot]:
+        """Fleet-merged snapshot of one histogram series (None if absent)."""
+        _, fresh, _ = self._fresh()
+        snapshots = []
+        for node_id in self._order:
+            scrape = fresh.get(node_id)
+            if scrape is None:
+                continue
+            snap = scrape.parsed.histogram(family, labels)
+            if snap is not None and (snap.total_count or snap.counts):
+                snapshots.append(snap)
+        if not snapshots:
+            return None
+        merged = snapshots[0]
+        for snap in snapshots[1:]:
+            try:
+                merged = merged.merge(snap)
+            except ValueError:
+                with self._lock:
+                    self.merge_conflicts += 1
+        return merged
+
+    def merged_families(self) -> List[tuple]:
+        """The ``GET /cluster/metrics`` family list (sans SLO gauges).
+
+        Plain ``(name, type, help, samples)`` tuples in
+        :func:`repro.service.metrics.render_metrics` shape: federation
+        meta-families first (``up``, scrape ages, scrape/merge counters),
+        then every merged family sorted by name for a stable exposition.
+        """
+        scrapes, fresh, now = self._fresh()
+        alive = None
+        if self._liveness is not None:
+            try:
+                alive = self._liveness()
+            except Exception:  # pragma: no cover - defensive
+                alive = None
+
+        up_samples = []
+        age_samples = []
+        for node_id in self._order:
+            scrape = scrapes.get(node_id)
+            is_fresh = node_id in fresh
+            considered_alive = alive is None or node_id in alive
+            up_samples.append(
+                ({"node": node_id}, 1 if (is_fresh and considered_alive) else 0)
+            )
+            if scrape is not None:
+                age_samples.append(({"node": node_id}, round(now - scrape.at, 3)))
+
+        families: List[tuple] = [
+            (
+                "up",
+                "gauge",
+                "1 when the node's last /metrics scrape is fresh and "
+                "membership considers it alive; 0 otherwise.",
+                up_samples,
+            ),
+            (
+                "repro_federation_scrape_age_seconds",
+                "gauge",
+                "Seconds since each node was last scraped (success or not).",
+                age_samples,
+            ),
+            (
+                "repro_federation_rounds_total",
+                "counter",
+                "Completed federation scrape rounds.",
+                [({}, self.rounds)],
+            ),
+            (
+                "repro_federation_scrape_errors_total",
+                "counter",
+                "Node scrapes that failed (unreachable or unparseable).",
+                [({}, self.scrape_errors)],
+            ),
+            (
+                "repro_federation_merge_conflicts_total",
+                "counter",
+                "Histogram series skipped because bucket schemas differed "
+                "across nodes.",
+                [({}, self.merge_conflicts)],
+            ),
+            (
+                "repro_federation_parse_problems_total",
+                "counter",
+                "Exposition-format problems found while parsing node "
+                "scrapes.",
+                [({}, self.parse_problems)],
+            ),
+        ]
+
+        meta: Dict[str, Tuple[str, str]] = {}
+        counters: Dict[str, Dict[tuple, float]] = {}
+        gauges: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+        histograms: Dict[str, Dict[tuple, HistogramSnapshot]] = {}
+
+        for node_id in self._order:
+            scrape = fresh.get(node_id)
+            if scrape is None:
+                continue
+            for family in scrape.parsed.families.values():
+                if family.name == "up" or family.name.startswith(
+                    "repro_federation_"
+                ):
+                    continue  # never federate a federated payload twice
+                meta.setdefault(family.name, (family.type, family.help))
+                if family.type == "histogram":
+                    per_series = histograms.setdefault(family.name, {})
+                    for labels in scrape.parsed.histogram_series(family.name):
+                        snap = scrape.parsed.histogram(family.name, labels)
+                        if snap is None:
+                            continue
+                        key = tuple(sorted(labels.items()))
+                        existing = per_series.get(key)
+                        if existing is None:
+                            per_series[key] = snap
+                        else:
+                            try:
+                                per_series[key] = existing.merge(snap)
+                            except ValueError:
+                                with self._lock:
+                                    self.merge_conflicts += 1
+                elif family.type == _SUMMABLE:
+                    per_labels = counters.setdefault(family.name, {})
+                    for sample in family.samples:
+                        if sample.name != family.name:
+                            continue
+                        key = sample.labels_key()
+                        per_labels[key] = per_labels.get(key, 0.0) + sample.value
+                else:
+                    # Gauges (and anything unmergeable) become per-node
+                    # series: the node label makes a sick process findable.
+                    out = gauges.setdefault(family.name, [])
+                    for sample in family.samples:
+                        if sample.name != family.name:
+                            continue
+                        labels = dict(sample.labels)
+                        labels["node"] = node_id
+                        out.append((labels, sample.value))
+
+        for name in sorted(meta):
+            mtype, help_text = meta[name]
+            if mtype == "histogram":
+                samples = [
+                    (dict(key), snap)
+                    for key, snap in sorted(histograms.get(name, {}).items())
+                ]
+            elif mtype == _SUMMABLE:
+                merged_counters = counters.get(name, {})
+                samples = [
+                    (dict(key), _integral(value))
+                    for key, value in sorted(merged_counters.items())
+                ]
+            else:
+                samples = sorted(
+                    gauges.get(name, []),
+                    key=lambda pair: tuple(sorted(pair[0].items())),
+                )
+            families.append((name, mtype, help_text, samples))
+        return families
+
+
+def _integral(value: float):
+    """Render whole-valued counter sums as ints (exposition cleanliness)."""
+    if isinstance(value, float) and not math.isinf(value) and value == int(value):
+        return int(value)
+    return value

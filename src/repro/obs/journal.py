@@ -15,7 +15,7 @@ import os
 import re
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 _SEGMENT_RE = re.compile(r"^events-(\d{6})\.jsonl$")
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
@@ -171,26 +171,99 @@ class EventJournal:
             }
 
 
-def read_journal(directory: str) -> List[Dict[str, Any]]:
-    """Read a journal directory without opening it for writing."""
-    events: List[Dict[str, Any]] = []
-    if not os.path.isdir(directory):
-        return events
+def _iter_segment(path: str) -> Iterator[Dict[str, Any]]:
+    """Durable events of one segment file (stops at a torn tail)."""
+    try:
+        fh = open(path, "rb")
+    except OSError:
+        return
+    with fh:
+        for raw in fh:
+            if not raw.endswith(b"\n"):
+                break
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if isinstance(event, dict):
+                yield event
+
+
+def _first_event(path: str) -> Optional[Dict[str, Any]]:
+    """First durable event of a segment — one line read, not a full scan."""
+    for event in _iter_segment(path):
+        return event
+    return None
+
+
+def journal_segment_plan(
+    directory: str,
+    since_seq: Optional[int] = None,
+    since_ts: Optional[float] = None,
+) -> Tuple[List[str], int]:
+    """Segment names plus the index where a ``--since`` read must start.
+
+    The fast path behind :func:`read_journal`: segments are append-ordered
+    and ``seq`` is strictly increasing across them, so if segment *i*'s
+    first event is already at-or-before the threshold, every earlier
+    segment holds only filtered-out events and is never opened.  Only the
+    first line of each segment is read to decide.  The ``seq`` key is
+    exact; the ``ts`` key shares the same plan on the append-order
+    assumption (wall clocks only move backwards across a step, in which
+    case the per-event filter still applies — the plan is a skip
+    optimisation, never the filter itself).
+    """
     names = sorted(
         name for name in os.listdir(directory) if _SEGMENT_RE.match(name)
     )
-    for name in names:
-        with open(os.path.join(directory, name), "rb") as fh:
-            for raw in fh:
-                if not raw.endswith(b"\n"):
-                    break
-                line = raw.strip()
-                if not line:
+    start = 0
+    if since_seq is None and since_ts is None:
+        return names, start
+    for index, name in enumerate(names):
+        first = _first_event(os.path.join(directory, name))
+        if first is None:
+            continue
+        seq = first.get("seq")
+        ts = first.get("ts")
+        if since_seq is not None and isinstance(seq, int) and seq <= since_seq:
+            start = index
+        elif since_ts is not None and isinstance(ts, (int, float)) and ts <= since_ts:
+            start = index
+    return names, start
+
+
+def read_journal(
+    directory: str,
+    since_seq: Optional[int] = None,
+    since_ts: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Read a journal directory without opening it for writing.
+
+    ``since_seq`` keeps events strictly after that sequence number;
+    ``since_ts`` keeps events at-or-after that wall-clock timestamp; both
+    ride the segment-skipping plan so a long-lived journal with hundreds
+    of rotated segments costs one line-read per skipped segment.
+    ``limit`` keeps only the most recent N surviving events.
+    """
+    events: List[Dict[str, Any]] = []
+    if not os.path.isdir(directory):
+        return events
+    names, start = journal_segment_plan(directory, since_seq, since_ts)
+    for name in names[start:]:
+        for event in _iter_segment(os.path.join(directory, name)):
+            if since_seq is not None:
+                seq = event.get("seq")
+                if isinstance(seq, int) and seq <= since_seq:
                     continue
-                try:
-                    event = json.loads(line.decode("utf-8"))
-                except (UnicodeDecodeError, json.JSONDecodeError):
-                    break
-                if isinstance(event, dict):
-                    events.append(event)
+            if since_ts is not None:
+                ts = event.get("ts")
+                if isinstance(ts, (int, float)) and ts < since_ts:
+                    continue
+            events.append(event)
+    if limit is not None and limit >= 0 and len(events) > limit:
+        events = events[-limit:]
     return events

@@ -1,0 +1,292 @@
+"""SLO accounting: latency quantile estimates and error-budget burn rate.
+
+The coordinator owns one :class:`SloEngine` configured from a declarative
+target spec (``--slo p99=2s,err=0.1%``).  Latency comes from the
+cluster-merged ``repro_stage_duration_seconds{stage="execute"}`` histogram
+(every request-execute span in the fleet: coordinator layout requests and
+node micro-batches), estimated the way PromQL's ``histogram_quantile``
+does — rank interpolation inside the first cumulative bucket that covers
+the quantile.  Errors are the coordinator's own terminal request outcomes,
+sampled once per federation scrape round into a rolling window, so the
+burn rate answers "how fast are we spending the error budget *right now*"
+rather than averaging over the process lifetime.
+
+Everything here is pure computation over snapshots — no threads, no I/O —
+so the math is unit-testable without a cluster.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.hist import HistogramSnapshot, format_float
+
+#: Default declarative target: 99th percentile under 2 seconds with a
+#: 0.1% error budget — the spec string keeps CLI help honest.
+DEFAULT_SLO_SPEC = "p99=2s,err=0.1%"
+
+_QUANTILE_KEY_RE = re.compile(r"^p(\d{1,2}(?:\.\d+)?)$")
+_DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(ms|s|m)?$")
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One declarative service-level objective."""
+
+    quantile: float  # e.g. 0.99
+    latency_seconds: float  # the latency bound that quantile must meet
+    error_ratio: float  # allowed error budget, e.g. 0.001
+
+    @property
+    def quantile_label(self) -> str:
+        return format_float(self.quantile)
+
+
+def _parse_duration(text: str) -> float:
+    match = _DURATION_RE.match(text.strip())
+    if not match:
+        raise ValueError(f"unparseable duration {text!r} (try 500ms, 2s, 1m)")
+    value = float(match.group(1))
+    unit = match.group(2) or "s"
+    return value * {"ms": 0.001, "s": 1.0, "m": 60.0}[unit]
+
+
+def _parse_ratio(text: str) -> float:
+    text = text.strip()
+    if text.endswith("%"):
+        ratio = float(text[:-1]) / 100.0
+    else:
+        ratio = float(text)
+    if not 0.0 < ratio < 1.0:
+        raise ValueError(f"error budget must be in (0, 1), got {text!r}")
+    return ratio
+
+
+def parse_slo_spec(spec: str) -> SloTarget:
+    """Parse ``p99=2s,err=0.1%`` into an :class:`SloTarget`.
+
+    Unknown keys and malformed values raise ``ValueError`` so a typo in
+    ``--slo`` fails the CLI at startup instead of silently tracking the
+    wrong objective.  Omitted keys fall back to :data:`DEFAULT_SLO_SPEC`'s
+    values.
+    """
+    quantile = 0.99
+    latency = 2.0
+    error_ratio = 0.001
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"SLO clause {part!r} is not key=value")
+        key = key.strip().lower()
+        if key == "err":
+            error_ratio = _parse_ratio(value)
+            continue
+        match = _QUANTILE_KEY_RE.match(key)
+        if not match:
+            raise ValueError(
+                f"unknown SLO key {key!r} (expected pNN=<duration> or err=<ratio>)"
+            )
+        quantile = float(match.group(1)) / 100.0
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 100), got {key!r}")
+        latency = _parse_duration(value)
+    return SloTarget(quantile, latency, error_ratio)
+
+
+def estimate_quantile(snapshot: HistogramSnapshot, q: float) -> Optional[float]:
+    """``histogram_quantile``-style estimate from cumulative buckets.
+
+    Linear interpolation of the rank inside the first bucket whose
+    cumulative count covers it (lower bound 0 before the first bucket).
+    A rank landing past the last finite bound clamps to that bound — the
+    histogram cannot resolve beyond it.  ``None`` for an empty series.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {q}")
+    total = snapshot.total_count
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    cumulative = 0
+    for bound, count in zip(snapshot.buckets, snapshot.counts):
+        next_cumulative = cumulative + count
+        if next_cumulative >= rank:
+            if count == 0:  # pragma: no cover - unreachable with >= rank
+                return bound
+            fraction = (rank - cumulative) / count
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound = bound
+        cumulative = next_cumulative
+    # Rank falls in the +Inf bucket: the highest finite bound is the best
+    # (and the standard) answer.
+    return snapshot.buckets[-1] if snapshot.buckets else None
+
+
+class ErrorBudgetWindow:
+    """Rolling window over (time, total, errors) counter samples.
+
+    Counters are cumulative, so the window's delta is last-sample minus
+    the newest sample *older* than the window (kept as the baseline).
+    Counter resets (process restart) make deltas negative; they clamp to
+    a fresh baseline instead of producing negative rates.
+    """
+
+    def __init__(self, window_seconds: float = 300.0) -> None:
+        self.window_seconds = max(1.0, float(window_seconds))
+        self._samples: Deque[Tuple[float, int, int]] = deque()
+
+    def record(self, now: float, total: int, errors: int) -> None:
+        samples = self._samples
+        if samples and (total < samples[-1][1] or errors < samples[-1][2]):
+            samples.clear()  # counter reset: restart the window
+        samples.append((now, int(total), int(errors)))
+        # Keep exactly one sample at-or-before the window edge as baseline.
+        edge = now - self.window_seconds
+        while len(samples) >= 2 and samples[1][0] <= edge:
+            samples.popleft()
+
+    def deltas(self) -> Tuple[int, int, float]:
+        """``(requests, errors, span_seconds)`` across the current window."""
+        samples = self._samples
+        if len(samples) < 2:
+            return 0, 0, 0.0
+        first, last = samples[0], samples[-1]
+        return last[1] - first[1], last[2] - first[2], last[0] - first[0]
+
+
+class SloEngine:
+    """Folds merged latency histograms + error counters into SLO status."""
+
+    def __init__(
+        self, target: SloTarget, window_seconds: float = 300.0
+    ) -> None:
+        self.target = target
+        self.window = ErrorBudgetWindow(window_seconds)
+
+    def record_errors(self, now: float, total: int, errors: int) -> None:
+        self.window.record(now, total, errors)
+
+    def status(self, latency: Optional[HistogramSnapshot]) -> Dict[str, Any]:
+        """The ``GET /slo`` payload."""
+        target = self.target
+        estimate = (
+            estimate_quantile(latency, target.quantile)
+            if latency is not None and latency.total_count > 0
+            else None
+        )
+        requests, errors, span = self.window.deltas()
+        ratio = (errors / requests) if requests > 0 else 0.0
+        burn = ratio / target.error_ratio
+        payload: Dict[str, Any] = {
+            "target": {
+                "quantile": target.quantile,
+                "latency_seconds": target.latency_seconds,
+                "error_ratio": target.error_ratio,
+            },
+            "latency": {
+                "observations": latency.total_count if latency is not None else 0,
+                "estimate_seconds": estimate,
+                "within_target": (
+                    None if estimate is None else estimate <= target.latency_seconds
+                ),
+                "percentiles": {
+                    f"p{format_float(q * 100)}": (
+                        estimate_quantile(latency, q)
+                        if latency is not None and latency.total_count > 0
+                        else None
+                    )
+                    for q in sorted({0.5, 0.9, target.quantile})
+                },
+            },
+            "errors": {
+                "window_seconds": self.window.window_seconds,
+                "window_span_seconds": round(span, 3),
+                "window_requests": requests,
+                "window_errors": errors,
+                "ratio": ratio,
+                "burn_rate": burn,
+                "budget_remaining": max(0.0, 1.0 - burn),
+            },
+        }
+        return payload
+
+    def families(self, latency: Optional[HistogramSnapshot]) -> List[tuple]:
+        """``repro_slo_*`` gauge families for ``GET /cluster/metrics``.
+
+        Families are plain ``(name, type, help, samples)`` tuples —
+        :func:`repro.service.metrics.render_metrics`'s shape — built here
+        without importing the service layer to keep ``repro.obs`` leaf-only.
+        """
+        status = self.status(latency)
+        target = status["target"]
+        latency_block = status["latency"]
+        errors = status["errors"]
+        estimate = latency_block["estimate_seconds"]
+        quantile_samples = [
+            ({"quantile": name[1:]}, math.nan if value is None else value)
+            for name, value in sorted(latency_block["percentiles"].items())
+        ]
+        return [
+            (
+                "repro_slo_latency_quantile_seconds",
+                "gauge",
+                "Cluster latency quantile estimates from the merged "
+                "execute-stage histogram (NaN before any observation).",
+                quantile_samples,
+            ),
+            (
+                "repro_slo_latency_target_seconds",
+                "gauge",
+                "Configured latency bound for the target quantile.",
+                [
+                    (
+                        {"quantile": format_float(target["quantile"] * 100)},
+                        target["latency_seconds"],
+                    )
+                ],
+            ),
+            (
+                "repro_slo_latency_within_target",
+                "gauge",
+                "1 when the target quantile estimate meets the bound, 0 "
+                "when it misses, NaN before any observation.",
+                [
+                    (
+                        {},
+                        math.nan
+                        if latency_block["within_target"] is None
+                        else (1 if latency_block["within_target"] else 0),
+                    )
+                ],
+            ),
+            (
+                "repro_slo_error_ratio_target",
+                "gauge",
+                "Configured error budget (allowed error ratio).",
+                [({}, target["error_ratio"])],
+            ),
+            (
+                "repro_slo_error_burn_rate",
+                "gauge",
+                "Observed error ratio over the rolling window divided by "
+                "the budget: 1.0 spends the budget exactly, >1 burns it.",
+                [({}, errors["burn_rate"])],
+            ),
+            (
+                "repro_slo_error_budget_remaining",
+                "gauge",
+                "max(0, 1 - burn_rate) over the rolling window.",
+                [({}, errors["budget_remaining"])],
+            ),
+            (
+                "repro_slo_window_seconds",
+                "gauge",
+                "Rolling error-budget window length.",
+                [({}, errors["window_seconds"])],
+            ),
+        ]

@@ -1,0 +1,233 @@
+"""Journal-backed usage metering: deterministic per-client rollups.
+
+``repro-decompose usage`` folds the lifecycle events a journaled server or
+coordinator wrote (``received`` → ``merged``/``completed``/``failed``)
+into per-client accounting: request counts by kind, layouts by name,
+components solved, cache hits, bytes in/out, and wall time broken down by
+stage.  Clients self-declare via the ``X-Repro-Client`` header (sanitised
+at the server; see :func:`repro.service.http.client_identity`); requests
+without one meter under ``anonymous``.
+
+The fold is a pure function of the event list — no wall clocks, no
+environment — and the checkpoint renderer emits canonical JSON (sorted
+keys, compact separators, floats rounded where they are produced), so
+re-running ``repro-decompose usage`` over the same journal is
+**byte-identical**.  That determinism is the contract the multi-tenant
+QoS roadmap item will bill quotas against: an auditor re-folding the
+journal must reproduce the bill exactly.
+
+Checkpoints are versioned JSONL: one header line
+(``{"checkpoint": "repro-usage", "version": 1, ...}``) followed by one
+line per client, sorted by client id.  A format change bumps
+``CHECKPOINT_VERSION`` so consumers can refuse payloads they don't
+understand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TERMINAL_EVENTS
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_KIND = "repro-usage"
+
+#: Fallback identity for events predating client metering (or requests
+#: without the header) — mirrors ``client_identity(None)``.
+ANONYMOUS = "anonymous"
+
+
+def _new_rollup(client: str) -> Dict[str, Any]:
+    return {
+        "client": client,
+        "requests": {},  # kind -> count (from received events)
+        "completed": 0,
+        "failed": 0,
+        "layouts_total": 0,
+        "layouts": {},  # layout name -> count (from merged events)
+        "components_solved": 0,
+        "cache_hits": 0,
+        "conflicts": 0,
+        "stitches": 0,
+        "bytes_in": 0,
+        "bytes_out": 0,
+        "wall_seconds": 0.0,
+        "stage_seconds": {},  # stage -> summed span seconds
+    }
+
+
+def fold_usage(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold journal events into ``{"meta": ..., "clients": [rollups]}``.
+
+    Unknown event shapes are skipped, not fatal: a journal is an append-only
+    log shared across releases, and metering must degrade gracefully when
+    reading segments written by older or newer servers.
+    """
+    rollups: Dict[str, Dict[str, Any]] = {}
+    trace_client: Dict[str, str] = {}
+    first_seq: Optional[int] = None
+    last_seq: Optional[int] = None
+    folded = 0
+
+    def rollup_for(client: str) -> Dict[str, Any]:
+        row = rollups.get(client)
+        if row is None:
+            row = _new_rollup(client)
+            rollups[client] = row
+        return row
+
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        name = event.get("event")
+        trace_id = event.get("trace_id")
+        if not isinstance(name, str) or not isinstance(trace_id, str):
+            continue
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            first_seq = seq if first_seq is None else min(first_seq, seq)
+            last_seq = seq if last_seq is None else max(last_seq, seq)
+        folded += 1
+
+        if name == "received":
+            client = event.get("client")
+            if not isinstance(client, str) or not client:
+                client = ANONYMOUS
+            trace_client[trace_id] = client
+            row = rollup_for(client)
+            kind = event.get("kind")
+            kind = kind if isinstance(kind, str) and kind else "unknown"
+            row["requests"][kind] = row["requests"].get(kind, 0) + 1
+            bytes_in = event.get("bytes_in")
+            if isinstance(bytes_in, int) and bytes_in >= 0:
+                row["bytes_in"] += bytes_in
+            continue
+
+        if name not in TERMINAL_EVENTS:
+            continue
+        row = rollup_for(trace_client.get(trace_id, ANONYMOUS))
+
+        if name == "failed":
+            row["failed"] += 1
+        else:
+            row["completed"] += 1
+        bytes_out = event.get("bytes_out")
+        if isinstance(bytes_out, int) and bytes_out >= 0:
+            row["bytes_out"] += bytes_out
+        wall = event.get("wall_seconds")
+        if isinstance(wall, (int, float)) and wall >= 0:
+            row["wall_seconds"] += float(wall)
+        for span in event.get("spans") or []:
+            if not isinstance(span, dict):
+                continue
+            stage = span.get("stage")
+            seconds = span.get("seconds")
+            if isinstance(stage, str) and isinstance(seconds, (int, float)):
+                stages = row["stage_seconds"]
+                stages[stage] = stages.get(stage, 0.0) + float(seconds)
+
+        if name == "merged":
+            layouts = event.get("layouts")
+            if isinstance(layouts, int) and layouts >= 0:
+                row["layouts_total"] += layouts
+            for key in ("conflicts", "stitches"):
+                value = event.get(key)
+                if isinstance(value, int) and value >= 0:
+                    row[key] += value
+            for layout_name in event.get("names") or []:
+                if isinstance(layout_name, str):
+                    label = layout_name or "unnamed"
+                    row["layouts"][label] = row["layouts"].get(label, 0) + 1
+        elif name == "completed":
+            solved = event.get("solved")
+            if isinstance(solved, int) and solved >= 0:
+                row["components_solved"] += solved
+            hits = event.get("cache_hits")
+            if isinstance(hits, int) and hits >= 0:
+                row["cache_hits"] += hits
+
+    for row in rollups.values():
+        row["wall_seconds"] = round(row["wall_seconds"], 6)
+        row["stage_seconds"] = {
+            stage: round(seconds, 6)
+            for stage, seconds in sorted(row["stage_seconds"].items())
+        }
+        row["requests"] = dict(sorted(row["requests"].items()))
+        row["layouts"] = dict(sorted(row["layouts"].items()))
+
+    return {
+        "meta": {
+            "checkpoint": CHECKPOINT_KIND,
+            "version": CHECKPOINT_VERSION,
+            "events": folded,
+            "first_seq": first_seq,
+            "last_seq": last_seq,
+            "clients": len(rollups),
+        },
+        "clients": [rollups[client] for client in sorted(rollups)],
+    }
+
+
+def render_checkpoint(rollup: Dict[str, Any]) -> str:
+    """Render one fold as versioned JSONL (header line + one per client).
+
+    Canonical JSON on every line — this is the byte-identity surface.
+    """
+    lines = [json.dumps(rollup["meta"], sort_keys=True, separators=(",", ":"))]
+    for row in rollup["clients"]:
+        lines.append(json.dumps(row, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def read_checkpoint(text: str) -> Dict[str, Any]:
+    """Parse a checkpoint back into the fold shape (version-checked)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty usage checkpoint")
+    meta = json.loads(lines[0])
+    if not isinstance(meta, dict) or meta.get("checkpoint") != CHECKPOINT_KIND:
+        raise ValueError("not a repro-usage checkpoint")
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported usage checkpoint version {meta.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    return {"meta": meta, "clients": [json.loads(line) for line in lines[1:]]}
+
+
+def format_usage_table(rollup: Dict[str, Any]) -> str:
+    """Human-readable rollup summary for the CLI."""
+    meta = rollup["meta"]
+    out: List[str] = [
+        f"usage over {meta['events']} events "
+        f"(seq {meta['first_seq']}..{meta['last_seq']}, "
+        f"{meta['clients']} client(s))"
+    ]
+    header = (
+        f"{'client':<20} {'reqs':>6} {'done':>6} {'fail':>5} {'layouts':>8} "
+        f"{'comps':>7} {'hits':>6} {'in_bytes':>10} {'out_bytes':>10} "
+        f"{'wall_s':>9}"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+    for row in rollup["clients"]:
+        out.append(
+            f"{row['client']:<20} "
+            f"{sum(row['requests'].values()):>6} "
+            f"{row['completed']:>6} "
+            f"{row['failed']:>5} "
+            f"{row['layouts_total']:>8} "
+            f"{row['components_solved']:>7} "
+            f"{row['cache_hits']:>6} "
+            f"{row['bytes_in']:>10} "
+            f"{row['bytes_out']:>10} "
+            f"{row['wall_seconds']:>9.3f}"
+        )
+        stages = row.get("stage_seconds") or {}
+        if stages:
+            detail = ", ".join(
+                f"{stage} {seconds:.3f}s" for stage, seconds in stages.items()
+            )
+            out.append(f"{'':<20}   stages: {detail}")
+    return "\n".join(out)

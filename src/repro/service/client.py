@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.geometry.layout import Layout
-from repro.service.http import TRACE_HEADER
+from repro.service.http import CLIENT_HEADER, TRACE_HEADER
 
 #: One server address.
 Address = Tuple[str, int]
@@ -97,10 +97,20 @@ class ServiceError(ReproError):
 class ServiceClient:
     """Blocking client bound to one server address."""
 
-    def __init__(self, host: str, port: int, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 600.0,
+        client_id: Optional[str] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Self-declared identity sent as the X-Repro-Client header on every
+        #: request, so journaled servers meter this caller's usage under one
+        #: name (see ``repro-decompose usage``).
+        self.client_id = client_id
         self._local = threading.local()
         #: Every thread's connection pool, so :meth:`close` can reach them all.
         self._pools: List[Dict[Address, http.client.HTTPConnection]] = []
@@ -202,6 +212,8 @@ class ServiceClient:
         headers = {"Accept": "application/json", "Connection": "keep-alive"}
         if trace_id:
             headers[TRACE_HEADER] = trace_id
+        if self.client_id:
+            headers[CLIENT_HEADER] = self.client_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -233,11 +245,16 @@ class ServiceClient:
     def stats(self) -> Dict:
         return self._request("GET", "/stats")
 
-    def metrics_text(self) -> str:
-        """Fetch ``GET /metrics`` (Prometheus text exposition format)."""
+    def metrics_text(self, path: str = "/metrics") -> str:
+        """Fetch a Prometheus text exposition endpoint (default ``/metrics``).
+
+        ``path`` admits the coordinator's federated view:
+        ``metrics_text("/cluster/metrics")`` or, forcing a synchronous
+        scrape round first, ``metrics_text("/cluster/metrics?refresh=1")``.
+        """
         status, _, raw = self._request_bytes(
             "GET",
-            "/metrics",
+            path,
             None,
             {"Accept": "text/plain", "Connection": "keep-alive"},
             (self.host, self.port),
@@ -340,6 +357,10 @@ class ServiceClient:
     def trace(self, trace_id: str) -> Dict:
         """Fetch one request's assembled trace tree (``GET /trace/<id>``)."""
         return self._request("GET", f"/trace/{trace_id}")
+
+    def slo(self) -> Dict:
+        """Fetch the coordinator's SLO status (``GET /slo``)."""
+        return self._request("GET", "/slo")
 
     def watch_events(
         self,

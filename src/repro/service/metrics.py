@@ -18,12 +18,19 @@ test suite to keep every payload well-formed.
 from __future__ import annotations
 
 import math
+import os
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.obs.hist import HistogramSnapshot, format_float
 
 #: Content type of the text exposition format.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Process birth for repro_process_uptime_seconds.  This module is imported
+# while the serving process boots, so import time is the start time for the
+# purposes of a per-node uptime gauge.
+_PROCESS_START = time.monotonic()
 
 Number = Union[int, float]
 #: One sample: (label dict, value).
@@ -132,6 +139,62 @@ def build_info_family(role: str, extra: Optional[Mapping[str, str]] = None) -> M
     )
 
 
+def process_rss_bytes() -> Optional[int]:
+    """Resident set size from ``/proc/self/statm``; ``None`` off-Linux."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        pages = int(fields[1])
+        page_size = os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError, AttributeError):
+        return None
+    return pages * page_size
+
+
+def process_open_fds() -> Optional[int]:
+    """Open file descriptors from ``/proc/self/fd``; ``None`` off-Linux."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def process_telemetry_families() -> List[MetricFamily]:
+    """Per-process self-telemetry gauges every ``/metrics`` exposes.
+
+    Federation turns these into an instant per-node fleet view: a node
+    with runaway RSS or a descriptor leak stands out in ``/cluster/metrics``
+    without shell access to the box.  The procfs-backed gauges are simply
+    omitted on platforms without ``/proc`` rather than reporting garbage.
+    """
+    families = [
+        gauge_family(
+            "repro_process_uptime_seconds",
+            "Seconds since this serving process imported the metrics layer.",
+            [({}, time.monotonic() - _PROCESS_START)],
+        )
+    ]
+    rss = process_rss_bytes()
+    if rss is not None:
+        families.append(
+            gauge_family(
+                "repro_process_rss_bytes",
+                "Resident set size of this process (from /proc/self/statm).",
+                [({}, rss)],
+            )
+        )
+    fds = process_open_fds()
+    if fds is not None:
+        families.append(
+            gauge_family(
+                "repro_process_open_fds",
+                "Open file descriptors of this process (from /proc/self/fd).",
+                [({}, fds)],
+            )
+        )
+    return families
+
+
 def observability_families(obs) -> List[MetricFamily]:
     """Metric families fed by :mod:`repro.obs` instrumentation.
 
@@ -143,7 +206,8 @@ def observability_families(obs) -> List[MetricFamily]:
     from repro.runtime import shm_transport
     from repro.runtime.cache import lookup_histogram
 
-    families: List[MetricFamily] = [
+    families: List[MetricFamily] = process_telemetry_families()
+    families += [
         histogram_family(
             "repro_stage_duration_seconds",
             "Per-stage request latency (seconds), fed by trace spans.",
@@ -315,17 +379,149 @@ def server_metrics_text(
     return render_metrics(families)
 
 
-def lint_metrics_text(text: str) -> List[str]:
-    """Parse Prometheus text exposition; return a list of format problems.
+class MetricSample:
+    """One parsed sample line: full sample name, labels, numeric value."""
 
-    Checks the invariants a scraper relies on: every sample preceded by a
-    matching HELP+TYPE pair, parseable label syntax with proper escaping,
-    parseable values, histogram ``le`` bucket monotonicity (cumulative
-    counts non-decreasing, final bucket ``+Inf`` equal to ``_count``).
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+
+    def labels_key(self, drop: Sequence[str] = ()) -> Tuple[Tuple[str, str], ...]:
+        return tuple(
+            sorted((k, v) for k, v in self.labels.items() if k not in drop)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricSample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class ParsedFamily:
+    """One parsed metric family: TYPE/HELP plus its sample lines.
+
+    For histogram families ``samples`` holds the raw ``_bucket``/``_sum``/
+    ``_count`` lines; :meth:`ParsedMetrics.histogram` reconstructs
+    :class:`HistogramSnapshot` objects from them.
     """
-    problems: List[str] = []
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, mtype: str, help_text: str) -> None:
+        self.name = name
+        self.type = mtype
+        self.help = help_text
+        self.samples: List[MetricSample] = []
+
+
+class ParsedMetrics:
+    """Structured view of one text exposition payload.
+
+    ``families`` preserves declaration order; ``problems`` accumulates every
+    format violation found while parsing (the lint view).  The accessors are
+    what the federation layer consumes: per-sample values, histogram series
+    enumeration, and :class:`HistogramSnapshot` reconstruction from
+    cumulative bucket lines.
+    """
+
+    def __init__(self) -> None:
+        self.families: Dict[str, ParsedFamily] = {}
+        self.problems: List[str] = []
+
+    def family(self, name: str) -> Optional[ParsedFamily]:
+        return self.families.get(name)
+
+    def value(
+        self, sample_name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[float]:
+        """Value of one exact sample (full sample name + exact label set)."""
+        want = tuple(sorted((labels or {}).items()))
+        for family in self.families.values():
+            for sample in family.samples:
+                if sample.name == sample_name and sample.labels_key() == want:
+                    return sample.value
+        return None
+
+    def histogram_series(self, family_name: str) -> List[Dict[str, str]]:
+        """Distinct base label sets (``le`` stripped) of a histogram family."""
+        family = self.families.get(family_name)
+        if family is None or family.type != "histogram":
+            return []
+        seen: Dict[Tuple[Tuple[str, str], ...], Dict[str, str]] = {}
+        for sample in family.samples:
+            if not sample.name.endswith("_bucket"):
+                continue
+            key = sample.labels_key(drop=("le",))
+            seen.setdefault(key, dict(key))
+        return [seen[key] for key in sorted(seen)]
+
+    def histogram(
+        self, family_name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[HistogramSnapshot]:
+        """Rebuild the :class:`HistogramSnapshot` of one histogram series.
+
+        Inverts the cumulative ``_bucket`` exposition back into per-bucket
+        counts; the ``+Inf`` bucket supplies ``total_count`` and ``_sum``
+        supplies ``total_sum``, so ``render → parse → histogram`` round-trips
+        exactly.
+        """
+        family = self.families.get(family_name)
+        if family is None or family.type != "histogram":
+            return None
+        want = tuple(sorted((labels or {}).items()))
+        buckets: List[Tuple[float, float]] = []
+        total_sum: Optional[float] = None
+        total_count: Optional[float] = None
+        for sample in family.samples:
+            if sample.name == family_name + "_bucket":
+                if sample.labels_key(drop=("le",)) != want:
+                    continue
+                le_text = sample.labels.get("le", "")
+                le = math.inf if le_text == "+Inf" else float(le_text)
+                buckets.append((le, sample.value))
+            elif sample.name == family_name + "_sum":
+                if sample.labels_key() == want:
+                    total_sum = sample.value
+            elif sample.name == family_name + "_count":
+                if sample.labels_key() == want:
+                    total_count = sample.value
+        if not buckets:
+            return None
+        buckets.sort(key=lambda pair: pair[0])
+        bounds = tuple(le for le, _ in buckets if not math.isinf(le))
+        counts: List[int] = []
+        previous = 0.0
+        for le, value in buckets:
+            if math.isinf(le):
+                continue
+            counts.append(int(value - previous))
+            previous = value
+        inf_value = buckets[-1][1] if math.isinf(buckets[-1][0]) else previous
+        count = total_count if total_count is not None else inf_value
+        return HistogramSnapshot(
+            bounds,
+            tuple(counts),
+            int(count),
+            float(total_sum if total_sum is not None else 0.0),
+        )
+
+
+def parse_metrics_text(text: str) -> ParsedMetrics:
+    """Parse Prometheus text exposition into families, samples and problems.
+
+    This is a real parser of the 0.0.4 text format as this codebase emits
+    and scrapes it: HELP/TYPE tracking, label syntax with escape handling,
+    value parsing (including ``+Inf``/``-Inf``/``NaN``), plus the histogram
+    invariants a scraper relies on (cumulative ``le`` bucket monotonicity,
+    final ``+Inf`` bucket equal to ``_count``).  Violations land in
+    ``ParsedMetrics.problems`` — :func:`lint_metrics_text` is the thin
+    wrapper that returns just those.
+    """
+    parsed = ParsedMetrics()
+    problems = parsed.problems
     declared: Dict[str, str] = {}
-    helped: Dict[str, bool] = {}
+    helped: Dict[str, str] = {}
     histograms: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
     hist_counts: Dict[str, Dict[str, float]] = {}
 
@@ -345,7 +541,7 @@ def lint_metrics_text(text: str) -> List[str]:
             if len(parts) < 4 or not parts[3]:
                 problems.append(f"line {lineno}: HELP without text")
             else:
-                helped[parts[2]] = True
+                helped[parts[2]] = parts[3]
             continue
         if line.startswith("# TYPE "):
             parts = line.split(" ", 3)
@@ -355,9 +551,13 @@ def lint_metrics_text(text: str) -> List[str]:
             name = parts[2]
             if name in declared:
                 problems.append(f"line {lineno}: duplicate TYPE for {name}")
-            if not helped.get(name):
+            if name not in helped:
                 problems.append(f"line {lineno}: TYPE {name} without preceding HELP")
             declared[name] = parts[3]
+            if name not in parsed.families:
+                parsed.families[name] = ParsedFamily(
+                    name, parts[3], helped.get(name, "")
+                )
             continue
         if line.startswith("#"):
             continue
@@ -425,6 +625,7 @@ def lint_metrics_text(text: str) -> List[str]:
         if family not in declared:
             problems.append(f"line {lineno}: sample {name} without TYPE declaration")
             continue
+        parsed.families[family].samples.append(MetricSample(name, labels, value))
         if declared[family] == "histogram" and name.endswith("_bucket"):
             le_text = labels.get("le")
             if le_text is None:
@@ -457,4 +658,13 @@ def lint_metrics_text(text: str) -> List[str]:
                     problems.append(
                         f"{family}{{{series}}}: +Inf bucket != _count"
                     )
-    return problems
+    return parsed
+
+
+def lint_metrics_text(text: str) -> List[str]:
+    """Parse text exposition and return just the format problems.
+
+    Thin wrapper over :func:`parse_metrics_text`, kept as the test-suite
+    entry point: an empty list means the payload is lint-clean.
+    """
+    return parse_metrics_text(text).problems

@@ -77,9 +77,11 @@ from repro.runtime.component_io import (
 )
 from repro.service.base import BaseHttpServer, ThreadedServer
 from repro.service.http import (
+    CLIENT_HEADER,
     DEFAULT_MAX_BODY_BYTES,
     TRACE_HEADER,
     HttpRequest,
+    client_identity,
     error_body,
     json_body,
 )
@@ -285,7 +287,13 @@ class DecompositionServer(BaseHttpServer):
         loop = asyncio.get_running_loop()
         kind = "batch" if batch else "decompose"
         ctx = self.obs.begin(request.headers.get(TRACE_HEADER.lower()))
-        self.obs.emit(ctx, "received", kind=kind)
+        self.obs.emit(
+            ctx,
+            "received",
+            kind=kind,
+            client=client_identity(request.headers.get(CLIENT_HEADER.lower())),
+            bytes_in=len(request.body),
+        )
 
         def _decode_jobs() -> List[Dict]:
             # Decoding a (up to max_body_bytes) JSON body and rebuilding the
@@ -345,6 +353,8 @@ class DecompositionServer(BaseHttpServer):
             layouts=len(results),
             conflicts=sum(r.get("conflicts", 0) for r in results),
             stitches=sum(r.get("stitches", 0) for r in results),
+            names=[str(r.get("name", "")) for r in results],
+            bytes_out=len(body),
         )
         return 200, body, self._trace_headers(ctx)
 
@@ -371,7 +381,13 @@ class DecompositionServer(BaseHttpServer):
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         loop = asyncio.get_running_loop()
         ctx = self.obs.begin(request.headers.get(TRACE_HEADER.lower()))
-        self.obs.emit(ctx, "received", kind="component")
+        self.obs.emit(
+            ctx,
+            "received",
+            kind="component",
+            client=client_identity(request.headers.get(CLIENT_HEADER.lower())),
+            bytes_in=len(request.body),
+        )
 
         def _decode_component() -> Dict:
             payload = request.json()
@@ -400,10 +416,16 @@ class DecompositionServer(BaseHttpServer):
         self._counters["components"] += 1
         if payload.get("cache_hit"):
             self._counters["component_cache_hits"] += 1
+        body = json_body(payload)
         self.obs.emit(
-            ctx, "completed", solved=1, total=1, cache_hits=int(bool(payload.get("cache_hit")))
+            ctx,
+            "completed",
+            solved=1,
+            total=1,
+            cache_hits=int(bool(payload.get("cache_hit"))),
+            bytes_out=len(body),
         )
-        return 200, json_body(payload), self._trace_headers(ctx)
+        return 200, body, self._trace_headers(ctx)
 
     async def _serve_components(
         self, request: HttpRequest
@@ -508,6 +530,8 @@ class DecompositionServer(BaseHttpServer):
             kind="components",
             components=len(entries),
             wire="binary" if use_binary else "json",
+            client=client_identity(request.headers.get(CLIENT_HEADER.lower())),
+            bytes_in=len(request.body),
         )
 
         jobs = [entry for entry in entries if isinstance(entry, dict)]
@@ -567,6 +591,7 @@ class DecompositionServer(BaseHttpServer):
             total=len(entries),
             errors=errors,
             cache_hits=cache_hits,
+            bytes_out=len(body),
         )
         return 200, body, self._trace_headers(ctx)
 

@@ -1,0 +1,288 @@
+"""Metrics federation and SLO accounting on a live mini-cluster.
+
+The acceptance bar from the control-plane issue: ``GET /cluster/metrics``
+on a 2-node cluster must be lint-clean, sum every node counter exactly,
+bucket-merge the stage histograms correctly (asserted against per-node
+scrapes), and age out a killed node's samples after the staleness window.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.factory import wire_row_layout
+from repro.obs.hist import Histogram
+from repro.service.metrics import lint_metrics_text, parse_metrics_text
+
+from cluster_harness import mini_cluster
+
+pytestmark = [pytest.mark.cluster, pytest.mark.obs]
+
+#: Keep the background scrape loop effectively off so every round in these
+#: tests comes from a deterministic ?refresh=1 (or the startup round).
+_MANUAL = {"scrape_interval": 60.0}
+
+
+def _cluster_metrics(client):
+    text = client.metrics_text("/cluster/metrics?refresh=1")
+    return text, parse_metrics_text(text)
+
+
+class TestFederatedView:
+    def test_cluster_metrics_lint_clean_and_sums_exact(self):
+        layout = wire_row_layout(num_wires=4, wire_length=600)
+        with mini_cluster(num_nodes=2, coordinator_config=dict(_MANUAL)) as cluster:
+            client = cluster.client()
+            for name in ("a", "b", "c"):
+                client.decompose(layout, name=name, algorithm="linear")
+
+            text, parsed = _cluster_metrics(client)
+            assert lint_metrics_text(text) == []
+            assert parsed.problems == []
+
+            # Scrape each node directly, right after the federation round;
+            # counters cannot move in between (no traffic, GET /metrics
+            # does not count itself).
+            node_scrapes = [
+                parse_metrics_text(cluster.node_client(i).metrics_text())
+                for i in range(2)
+            ]
+
+            # up{node=} == 1 for the coordinator and both peers.
+            for node_id in ["coordinator"] + cluster.node_ids:
+                assert parsed.value("up", {"node": node_id}) == 1
+
+            # Acceptance: every node counter sums exactly.  Walk every
+            # counter family the nodes expose and compare each label set.
+            # In this topology no node counter family is also emitted by
+            # the coordinator (its counters are repro_coordinator_*), so
+            # the federated value must equal the plain two-node sum.  One
+            # special case: result="received" counts every HTTP request
+            # including GET /metrics itself, so each direct scrape taken
+            # after the federation round adds exactly one per node.
+            checked = 0
+            for scrape in node_scrapes:
+                for family in scrape.families.values():
+                    if family.type != "counter":
+                        continue
+                    for sample in family.samples:
+                        expected = sum(
+                            other.value(sample.name, sample.labels) or 0
+                            for other in node_scrapes
+                        )
+                        if sample.labels.get("result") == "received":
+                            expected -= len(node_scrapes)
+                        assert (
+                            parsed.value(sample.name, sample.labels) == expected
+                        ), sample.name
+                        checked += 1
+            assert checked > 10
+
+            # The node-only request counter is an *exact* sum: the
+            # coordinator never emits repro_server_requests_total.
+            served = sum(
+                scrape.value("repro_server_requests_total", {"result": "served"})
+                for scrape in node_scrapes
+            )
+            assert (
+                parsed.value("repro_server_requests_total", {"result": "served"})
+                == served
+            )
+
+            # Gauges come back per-node labelled.
+            for node_id in cluster.node_ids:
+                assert (
+                    parsed.value("repro_server_queue_limit", {"node": node_id})
+                    is not None
+                )
+
+    def test_histograms_bucket_merge_matches_per_node_scrapes(self):
+        layout = wire_row_layout(num_wires=4, wire_length=600)
+        with mini_cluster(num_nodes=2, coordinator_config=dict(_MANUAL)) as cluster:
+            client = cluster.client()
+            for name in ("a", "b"):
+                client.decompose(layout, name=name, algorithm="linear")
+            _, parsed = _cluster_metrics(client)
+            node_scrapes = [
+                parse_metrics_text(cluster.node_client(i).metrics_text())
+                for i in range(2)
+            ]
+            # queue_wait exists only on nodes, so the federated series must
+            # equal the bucket-wise sum of exactly the two node snapshots.
+            series = {"stage": "queue_wait"}
+            merged = parsed.histogram("repro_stage_duration_seconds", series)
+            assert merged is not None
+            per_node = [
+                scrape.histogram("repro_stage_duration_seconds", series)
+                for scrape in node_scrapes
+            ]
+            per_node = [snap for snap in per_node if snap is not None]
+            assert per_node
+            expected = Histogram.merge(per_node)
+            assert merged.buckets == expected.buckets
+            assert merged.counts == expected.counts
+            assert merged.total_count == expected.total_count
+            assert merged.total_sum == pytest.approx(expected.total_sum)
+            assert merged.total_count >= 2  # both decomposes waited in queue
+
+    def test_process_telemetry_federates_per_node(self):
+        with mini_cluster(num_nodes=2, coordinator_config=dict(_MANUAL)) as cluster:
+            client = cluster.client()
+            _, parsed = _cluster_metrics(client)
+            for node_id in ["coordinator"] + cluster.node_ids:
+                uptime = parsed.value(
+                    "repro_process_uptime_seconds", {"node": node_id}
+                )
+                assert uptime is not None and uptime >= 0
+
+
+class TestStaleness:
+    def test_federator_ages_out_stale_scrapes_pure_clock(self):
+        """Unit-level age-out: no failures, no liveness — the clock alone
+        moving past the staleness window removes a node's samples."""
+        from repro.obs.federate import FederationConfig, MetricsFederator
+        from repro.service.metrics import render_metrics, counter_family
+
+        def exposition(value):
+            return render_metrics(
+                [
+                    counter_family(
+                        "repro_server_requests_total",
+                        "Requests.",
+                        [({"result": "served"}, value)],
+                    )
+                ]
+            )
+
+        clock = {"now": 0.0}
+        federator = MetricsFederator(
+            targets=[
+                ("node-a", lambda: exposition(3)),
+                ("node-b", lambda: exposition(4)),
+            ],
+            config=FederationConfig(scrape_interval=60.0, staleness_seconds=10.0),
+            clock=lambda: clock["now"],
+        )
+        federator.scrape_once()
+
+        def served(families):
+            for name, _, _, samples in families:
+                if name == "repro_server_requests_total":
+                    return {tuple(sorted(l.items())): v for l, v in samples}
+            return None
+
+        fresh = served(federator.merged_families())
+        assert fresh == {(("result", "served"),): 7}
+
+        clock["now"] = 11.0  # past the 10s window with no new scrape
+        families = federator.merged_families()
+        assert served(families) is None  # every sample aged out
+        up = {
+            labels["node"]: value
+            for name, _, _, samples in families
+            if name == "up"
+            for labels, value in samples
+        }
+        assert up == {"node-a": 0, "node-b": 0}
+
+    def test_killed_node_ages_out_of_merged_samples(self):
+        """Cluster-level: kill a node, let its last scrape age past the
+        staleness window while the background loop keeps the survivor
+        fresh — the merged view must drop the dead node's samples."""
+        layout = wire_row_layout(num_wires=3, wire_length=400)
+        staleness = 0.6
+        with mini_cluster(
+            num_nodes=2,
+            coordinator_config=dict(
+                scrape_interval=0.15, metrics_staleness_seconds=staleness
+            ),
+        ) as cluster:
+            client = cluster.client()
+            client.decompose(layout, name="warm", algorithm="linear")
+            _, before = _cluster_metrics(client)
+            served_before = before.value(
+                "repro_server_requests_total", {"result": "served"}
+            )
+            assert served_before is not None and served_before >= 1
+
+            dead = cluster.kill_node(1)
+            time.sleep(staleness + 0.5)
+
+            # No refresh: rely on the background loop (keeps the survivor
+            # fresh) and the wall clock (ages the dead node out).
+            text = client.metrics_text("/cluster/metrics")
+            after = parse_metrics_text(text)
+            assert lint_metrics_text(text) == []
+            assert after.value("up", {"node": dead}) == 0
+            assert after.value("up", {"node": cluster.node_ids[0]}) == 1
+            # The dead node's gauges are gone from the merged view...
+            assert (
+                after.value("repro_server_queue_limit", {"node": dead}) is None
+            )
+            # ...and its counters no longer contribute to the sums.
+            survivor = parse_metrics_text(
+                cluster.node_client(0).metrics_text()
+            )
+            served_after = after.value(
+                "repro_server_requests_total", {"result": "served"}
+            )
+            assert served_after == survivor.value(
+                "repro_server_requests_total", {"result": "served"}
+            )
+            assert served_after <= served_before
+
+
+class TestSloEndpoint:
+    def test_slo_payload_and_gauges(self):
+        layout = wire_row_layout(num_wires=3, wire_length=400)
+        with mini_cluster(
+            num_nodes=2,
+            coordinator_config=dict(_MANUAL, slo="p90=5s,err=1%"),
+        ) as cluster:
+            client = cluster.client()
+            client.decompose(layout, name="a", algorithm="linear")
+            # Force a post-traffic scrape round; /slo itself only scrapes
+            # when no round has completed yet.
+            text, parsed = _cluster_metrics(client)
+            payload = client.slo()
+            assert payload["target"] == {
+                "quantile": 0.9,
+                "latency_seconds": 5.0,
+                "error_ratio": 0.01,
+            }
+            assert payload["nodes"] == {"alive": 2, "total": 2}
+            latency = payload["latency"]
+            assert latency["observations"] >= 1
+            assert latency["estimate_seconds"] is not None
+            assert latency["within_target"] is True  # 5s bound, tiny layout
+            assert "p90" in latency["percentiles"]
+            errors = payload["errors"]
+            assert errors["burn_rate"] >= 0.0
+            assert 0.0 <= errors["budget_remaining"] <= 1.0
+
+            for name in (
+                "repro_slo_latency_quantile_seconds",
+                "repro_slo_latency_target_seconds",
+                "repro_slo_error_burn_rate",
+                "repro_slo_error_budget_remaining",
+            ):
+                assert name in parsed.families, name
+            assert parsed.value(
+                "repro_slo_latency_target_seconds", {"quantile": "90"}
+            ) == 5.0
+
+    def test_status_cli_renders_cluster_slo(self, capsys):
+        from repro.cli import main
+
+        layout = wire_row_layout(num_wires=3, wire_length=400)
+        with mini_cluster(num_nodes=2, coordinator_config=dict(_MANUAL)) as cluster:
+            client = cluster.client()
+            client.decompose(layout, name="a", algorithm="linear")
+            host, port = cluster.address
+            assert main(["status", "--coordinator", f"{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert "slo: p99 < 2s" in out
+            assert "nodes: 2/2 alive" in out
+            assert "burn rate:" in out

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import threading
 
 import pytest
 
@@ -101,6 +102,111 @@ class TestHistogramVec:
     def test_labels_is_idempotent(self):
         vec = HistogramVec("stage")
         assert vec.labels("x") is vec.labels("x")
+
+
+class TestMerge:
+    def test_merge_sums_counts_and_totals(self):
+        left = Histogram(buckets=(0.01, 0.1, 1.0))
+        right = Histogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.5, 9.0):
+            left.observe(value)
+        for value in (0.05, 0.05):
+            right.observe(value)
+        merged = left.snapshot().merge(right.snapshot())
+        assert merged.counts == (1, 2, 1)
+        assert merged.total_count == 5
+        assert merged.total_sum == pytest.approx(9.605)
+        # Cumulative semantics survive the merge: +Inf equals the count.
+        assert merged.cumulative()[-1] == (math.inf, 5)
+
+    def test_merge_empty_with_nonempty_is_identity(self):
+        empty = Histogram(buckets=(0.01, 0.1)).snapshot()
+        busy = Histogram(buckets=(0.01, 0.1))
+        busy.observe(0.05)
+        busy.observe(7.0)
+        snap = busy.snapshot()
+        for merged in (empty.merge(snap), snap.merge(empty)):
+            assert merged.counts == snap.counts
+            assert merged.total_count == snap.total_count
+            assert merged.total_sum == pytest.approx(snap.total_sum)
+
+    def test_merge_rejects_mismatched_bucket_schemas(self):
+        left = Histogram(buckets=(0.01, 0.1)).snapshot()
+        right = Histogram(buckets=(0.01, 0.5)).snapshot()
+        with pytest.raises(ValueError, match="bucket schemas"):
+            left.merge(right)
+
+    def test_static_merge_of_empty_list_is_zero_default_schema(self):
+        merged = Histogram.merge([])
+        assert merged.buckets == tuple(sorted(DEFAULT_BUCKETS))
+        assert merged.total_count == 0 and merged.total_sum == 0.0
+
+    def test_static_merge_folds_many(self):
+        snaps = []
+        for shift in range(3):
+            hist = Histogram(buckets=(0.1, 1.0))
+            hist.observe(0.05 + shift * 0.3)
+            snaps.append(hist.snapshot())
+        merged = Histogram.merge(snaps)
+        assert merged.total_count == 3
+
+    def test_merged_snapshot_renders_lint_clean(self):
+        left = Histogram(buckets=(0.005, 0.05, 0.5))
+        right = Histogram(buckets=(0.005, 0.05, 0.5))
+        left.observe(0.001)
+        right.observe(0.4)
+        right.observe(80.0)
+        merged = left.snapshot().merge(right.snapshot())
+        text = render_metrics(
+            [
+                histogram_family(
+                    "repro_merged_seconds",
+                    "Merged fleet histogram.",
+                    [({"stage": "solve"}, merged)],
+                )
+            ]
+        )
+        assert lint_metrics_text(text) == []
+
+    def test_counter_monotonicity_under_concurrent_observe(self):
+        """Snapshots taken while another thread observes must stay
+        internally consistent (cumulative never decreases, +Inf == count)
+        and monotone across snapshots — the invariant the federation
+        scraper depends on while nodes keep serving traffic."""
+        hist = Histogram(buckets=(0.01, 0.1, 1.0))
+        stop = threading.Event()
+
+        def hammer():
+            value = 0.0001
+            while not stop.is_set():
+                hist.observe(value)
+                value = (value * 1.7) % 2.0 + 0.0001
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        try:
+            previous_total = 0
+            for _ in range(200):
+                snap = hist.snapshot()
+                pairs = snap.cumulative()
+                counts = [count for _, count in pairs]
+                assert counts == sorted(counts)
+                assert pairs[-1] == (math.inf, snap.total_count)
+                assert snap.total_count >= previous_total
+                previous_total = snap.total_count
+                text = render_metrics(
+                    [
+                        histogram_family(
+                            "repro_live_seconds",
+                            "Live histogram under load.",
+                            [({}, snap)],
+                        )
+                    ]
+                )
+                assert lint_metrics_text(text) == []
+        finally:
+            stop.set()
+            thread.join(timeout=5)
 
 
 class TestExposition:

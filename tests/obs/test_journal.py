@@ -7,7 +7,7 @@ import os
 
 import pytest
 
-from repro.obs.journal import EventJournal, read_journal
+from repro.obs.journal import EventJournal, journal_segment_plan, read_journal
 
 pytestmark = pytest.mark.obs
 
@@ -115,6 +115,67 @@ class TestRecovery:
         events = read_journal(str(tmp_path))
         assert len(events) == 5
         assert path.read_bytes() == torn  # read-only access left the tear alone
+
+
+class TestSinceAndLimit:
+    def _rotated_journal(self, tmp_path, events=200):
+        journal = EventJournal(str(tmp_path), max_segment_bytes=4096)
+        for i in range(events):
+            journal.append({"event": "progress", "trace_id": "d" * 16, "i": i})
+        journal.close()
+        assert len(_segments(tmp_path)) >= 3  # the plan has segments to skip
+        return str(tmp_path)
+
+    def test_since_seq_is_strictly_after(self, tmp_path):
+        directory = self._rotated_journal(tmp_path)
+        events = read_journal(directory, since_seq=150)
+        assert [e["seq"] for e in events] == list(range(151, 201))
+
+    def test_since_ts_is_at_or_after(self, tmp_path):
+        directory = self._rotated_journal(tmp_path)
+        pivot = read_journal(directory)[149]["ts"]
+        events = read_journal(directory, since_ts=pivot)
+        assert events[0]["ts"] >= pivot
+        assert {e["seq"] for e in read_journal(directory)} >= {
+            e["seq"] for e in events
+        }
+
+    def test_limit_keeps_most_recent(self, tmp_path):
+        directory = self._rotated_journal(tmp_path)
+        events = read_journal(directory, limit=10)
+        assert [e["seq"] for e in events] == list(range(191, 201))
+
+    def test_since_and_limit_compose(self, tmp_path):
+        directory = self._rotated_journal(tmp_path)
+        events = read_journal(directory, since_seq=100, limit=5)
+        assert [e["seq"] for e in events] == list(range(196, 201))
+
+    def test_plan_skips_fully_filtered_segments(self, tmp_path):
+        """The fast path: a --since threshold past a segment's first event
+        means every earlier segment is never opened."""
+        directory = self._rotated_journal(tmp_path)
+        names, start = journal_segment_plan(directory, since_seq=190)
+        assert len(names) >= 3
+        assert start > 0  # earlier segments are skipped entirely
+        # The skipped prefix holds only events the filter would drop.
+        skipped = [e for name in names[:start] for e in _segment_events(tmp_path, name)]
+        assert all(e["seq"] <= 190 for e in skipped)
+        # And the plan-backed read equals the brute-force filter.
+        brute = [e for e in read_journal(directory) if e["seq"] > 190]
+        assert read_journal(directory, since_seq=190) == brute
+
+    def test_plan_without_threshold_starts_at_zero(self, tmp_path):
+        directory = self._rotated_journal(tmp_path)
+        names, start = journal_segment_plan(directory)
+        assert start == 0 and names == _segments(tmp_path)
+
+
+def _segment_events(tmp_path, name):
+    return [
+        json.loads(line)
+        for line in (tmp_path / name).read_text().splitlines()
+        if line.strip()
+    ]
 
 
 class TestFsync:

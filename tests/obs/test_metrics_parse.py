@@ -1,0 +1,110 @@
+"""The metrics text parser behind federation and the lint check."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.hist import Histogram
+from repro.service.metrics import (
+    counter_family,
+    gauge_family,
+    histogram_family,
+    lint_metrics_text,
+    parse_metrics_text,
+    process_telemetry_families,
+    render_metrics,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _render_sample_payload():
+    hist = Histogram(buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    return render_metrics(
+        [
+            counter_family(
+                "repro_requests_total",
+                "Requests by result.",
+                [({"result": "served"}, 41), ({"result": "failed"}, 1)],
+            ),
+            gauge_family("repro_queue_depth", "Queued jobs.", [({}, 3)]),
+            histogram_family(
+                "repro_stage_duration_seconds",
+                "Per-stage latency.",
+                [({"stage": "solve"}, hist.snapshot())],
+            ),
+        ]
+    )
+
+
+class TestParse:
+    def test_families_and_types_round_trip(self):
+        parsed = parse_metrics_text(_render_sample_payload())
+        assert parsed.problems == []
+        assert parsed.families["repro_requests_total"].type == "counter"
+        assert parsed.families["repro_queue_depth"].type == "gauge"
+        assert parsed.families["repro_stage_duration_seconds"].type == "histogram"
+
+    def test_value_requires_exact_label_set(self):
+        parsed = parse_metrics_text(_render_sample_payload())
+        assert parsed.value("repro_requests_total", {"result": "served"}) == 41
+        assert parsed.value("repro_requests_total", {"result": "failed"}) == 1
+        assert parsed.value("repro_requests_total") is None  # no unlabelled sample
+        assert parsed.value("repro_queue_depth") == 3
+
+    def test_histogram_reconstruction_round_trips(self):
+        """render → parse → histogram inverts the cumulative exposition
+        back into the exact per-bucket counts."""
+        parsed = parse_metrics_text(_render_sample_payload())
+        snap = parsed.histogram("repro_stage_duration_seconds", {"stage": "solve"})
+        assert snap is not None
+        assert snap.buckets == (0.01, 0.1, 1.0)
+        assert snap.counts == (1, 1, 1)
+        assert snap.total_count == 4
+        assert snap.total_sum == pytest.approx(5.555)
+        assert snap.cumulative()[-1] == (math.inf, 4)
+
+    def test_histogram_series_strips_le(self):
+        parsed = parse_metrics_text(_render_sample_payload())
+        assert parsed.histogram_series("repro_stage_duration_seconds") == [
+            {"stage": "solve"}
+        ]
+        assert parsed.histogram_series("repro_requests_total") == []
+
+    def test_escaped_label_values_decode(self):
+        text = (
+            "# HELP g x\n# TYPE g gauge\n"
+            'g{path="C:\\\\tmp",note="say \\"hi\\"\\nbye"} 1\n'
+        )
+        parsed = parse_metrics_text(text)
+        assert parsed.problems == []
+        (sample,) = parsed.families["g"].samples
+        assert sample.labels == {"path": "C:\\tmp", "note": 'say "hi"\nbye'}
+
+    def test_special_values_parse(self):
+        text = (
+            "# HELP g x\n# TYPE g gauge\n"
+            'g{kind="nan"} NaN\ng{kind="inf"} +Inf\ng{kind="neg"} -Inf\n'
+        )
+        parsed = parse_metrics_text(text)
+        assert parsed.problems == []
+        assert math.isnan(parsed.value("g", {"kind": "nan"}))
+        assert parsed.value("g", {"kind": "inf"}) == math.inf
+
+    def test_problems_match_lint(self):
+        bad = 'orphan 1\n# TYPE h counter\nh 1\n'
+        assert parse_metrics_text(bad).problems == lint_metrics_text(bad)
+        assert lint_metrics_text(bad) != []
+
+    def test_real_expositions_parse_clean(self):
+        """The process self-telemetry every /metrics now carries parses
+        without problems and exposes the uptime gauge."""
+        text = render_metrics(process_telemetry_families())
+        parsed = parse_metrics_text(text)
+        assert parsed.problems == []
+        uptime = parsed.value("repro_process_uptime_seconds")
+        assert uptime is not None and uptime >= 0

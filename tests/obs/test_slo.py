@@ -1,0 +1,180 @@
+"""SLO math: spec parsing, quantile estimation, burn-rate windows."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.hist import Histogram, HistogramSnapshot
+from repro.obs.slo import (
+    DEFAULT_SLO_SPEC,
+    ErrorBudgetWindow,
+    SloEngine,
+    SloTarget,
+    estimate_quantile,
+    parse_slo_spec,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpecParsing:
+    def test_default_spec_round_trips(self):
+        target = parse_slo_spec(DEFAULT_SLO_SPEC)
+        assert target == SloTarget(0.99, 2.0, 0.001)
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("p95=500ms", SloTarget(0.95, 0.5, 0.001)),
+            ("p50=1m", SloTarget(0.5, 60.0, 0.001)),
+            ("err=1%", SloTarget(0.99, 2.0, 0.01)),
+            ("err=0.05", SloTarget(0.99, 2.0, 0.05)),
+            ("p99.9=3s,err=0.01%", SloTarget(0.999, 3.0, 0.0001)),
+            ("", SloTarget(0.99, 2.0, 0.001)),
+        ],
+    )
+    def test_variants(self, spec, expected):
+        target = parse_slo_spec(spec)
+        assert target.quantile == pytest.approx(expected.quantile)
+        assert target.latency_seconds == pytest.approx(expected.latency_seconds)
+        assert target.error_ratio == pytest.approx(expected.error_ratio)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "latency=2s",     # unknown key
+            "p99",            # not key=value
+            "p99=2parsecs",   # bad duration unit
+            "err=150%",       # ratio out of range
+            "err=0",          # ratio must be > 0
+            "p0=1s",          # quantile out of range
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo_spec(spec)
+
+
+class TestQuantileEstimate:
+    def _snapshot(self):
+        # 10 obs <= 0.1, 80 in (0.1, 0.2], 10 in (0.2, 0.4]
+        return HistogramSnapshot((0.1, 0.2, 0.4), (10, 80, 10), 100, 18.0)
+
+    def test_interpolates_inside_covering_bucket(self):
+        # p50: rank 50 lands in the (0.1, 0.2] bucket at fraction 40/80.
+        assert estimate_quantile(self._snapshot(), 0.5) == pytest.approx(0.15)
+
+    def test_p90_hits_bucket_boundary(self):
+        assert estimate_quantile(self._snapshot(), 0.9) == pytest.approx(0.2)
+
+    def test_rank_past_last_finite_bound_clamps(self):
+        # 5 of 10 observations overflow into +Inf: p99 cannot resolve
+        # beyond the last finite bound.
+        snap = HistogramSnapshot((0.1,), (5,), 10, 60.0)
+        assert estimate_quantile(snap, 0.99) == pytest.approx(0.1)
+
+    def test_empty_series_returns_none(self):
+        snap = Histogram(buckets=(0.1, 1.0)).snapshot()
+        assert estimate_quantile(snap, 0.99) is None
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_quantile(self._snapshot(), 1.5)
+
+
+class TestErrorBudgetWindow:
+    def test_deltas_across_window(self):
+        window = ErrorBudgetWindow(window_seconds=60.0)
+        window.record(0.0, 100, 1)
+        window.record(10.0, 200, 3)
+        window.record(20.0, 300, 3)
+        assert window.deltas() == (200, 2, 20.0)
+
+    def test_old_samples_expire_keeping_baseline(self):
+        window = ErrorBudgetWindow(window_seconds=10.0)
+        window.record(0.0, 100, 0)
+        window.record(5.0, 200, 1)
+        window.record(30.0, 400, 2)
+        # 0.0 and 5.0 are both past the edge; 5.0 survives as baseline.
+        requests, errors, span = window.deltas()
+        assert (requests, errors) == (200, 1)
+        assert span == pytest.approx(25.0)
+
+    def test_counter_reset_clears_window(self):
+        window = ErrorBudgetWindow(window_seconds=60.0)
+        window.record(0.0, 500, 5)
+        window.record(1.0, 10, 0)  # process restarted: counters reset
+        assert window.deltas() == (0, 0, 0.0)
+        window.record(2.0, 20, 1)
+        assert window.deltas() == (10, 1, 1.0)
+
+    def test_single_sample_has_no_delta(self):
+        window = ErrorBudgetWindow()
+        window.record(0.0, 100, 1)
+        assert window.deltas() == (0, 0, 0.0)
+
+
+class TestSloEngine:
+    def _engine(self):
+        return SloEngine(SloTarget(0.9, 0.2, 0.01), window_seconds=60.0)
+
+    def test_status_reports_burn_rate(self):
+        engine = self._engine()
+        engine.record_errors(0.0, 100, 0)
+        engine.record_errors(30.0, 300, 4)  # 4/200 = 2% against a 1% budget
+        snap = HistogramSnapshot((0.1, 0.2, 0.4), (10, 80, 10), 100, 18.0)
+        status = engine.status(snap)
+        assert status["errors"]["window_requests"] == 200
+        assert status["errors"]["ratio"] == pytest.approx(0.02)
+        assert status["errors"]["burn_rate"] == pytest.approx(2.0)
+        assert status["errors"]["budget_remaining"] == 0.0
+        assert status["latency"]["estimate_seconds"] == pytest.approx(0.2)
+        assert status["latency"]["within_target"] is True
+        assert set(status["latency"]["percentiles"]) == {"p50", "p90"}
+
+    def test_status_with_no_latency_data(self):
+        status = self._engine().status(None)
+        assert status["latency"]["estimate_seconds"] is None
+        assert status["latency"]["within_target"] is None
+        assert status["errors"]["burn_rate"] == 0.0
+        assert status["errors"]["budget_remaining"] == 1.0
+
+    def test_families_render_lint_clean(self):
+        from repro.service.metrics import lint_metrics_text, render_metrics
+
+        engine = self._engine()
+        engine.record_errors(0.0, 100, 0)
+        engine.record_errors(10.0, 200, 1)
+        snap = HistogramSnapshot((0.1, 0.2), (50, 50), 100, 15.0)
+        families = engine.families(snap)
+        names = [family[0] for family in families]
+        assert "repro_slo_latency_quantile_seconds" in names
+        assert "repro_slo_error_burn_rate" in names
+        assert lint_metrics_text(render_metrics(families)) == []
+
+    def test_families_use_nan_before_data(self):
+        families = self._engine().families(None)
+        by_name = {family[0]: family for family in families}
+        (_, within) = by_name["repro_slo_latency_within_target"][3][0]
+        assert math.isnan(within)
+
+
+class TestStatusRendering:
+    def test_format_slo_status_is_pure(self):
+        from repro.cli import _format_slo_status
+
+        engine = SloEngine(SloTarget(0.99, 2.0, 0.001), window_seconds=300.0)
+        engine.record_errors(0.0, 0, 0)
+        engine.record_errors(60.0, 1000, 1)
+        snap = HistogramSnapshot((0.5, 1.0, 2.0), (600, 300, 100), 1000, 700.0)
+        payload = engine.status(snap)
+        payload["nodes"] = {"alive": 2, "total": 2}
+        text = _format_slo_status(payload)
+        assert "slo: p99 < 2s, err < 0.1%" in text
+        assert "nodes: 2/2 alive" in text
+        assert "[OK]" in text
+        assert "errors: 1/1000" in text
+        # Deterministic: same payload, same rendering.
+        assert text == _format_slo_status(payload)

@@ -1,0 +1,196 @@
+"""Usage metering: deterministic folds, checkpoints, /stats reconciliation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.factory import wire_row_layout
+from repro.obs.journal import read_journal
+from repro.obs.usage import (
+    CHECKPOINT_VERSION,
+    fold_usage,
+    format_usage_table,
+    read_checkpoint,
+    render_checkpoint,
+)
+from repro.service import ServerConfig, ServerThread, ServiceClient
+from repro.service.http import client_identity
+
+pytestmark = pytest.mark.obs
+
+
+def _events():
+    """A tiny synthetic journal: two clients, one anonymous failure."""
+    return [
+        {
+            "event": "received", "trace_id": "a" * 16, "seq": 1, "ts": 1.0,
+            "kind": "decompose", "client": "team-a", "bytes_in": 100,
+        },
+        {
+            "event": "merged", "trace_id": "a" * 16, "seq": 2, "ts": 2.0,
+            "layouts": 2, "conflicts": 1, "stitches": 3, "bytes_out": 400,
+            "names": ["top", "top"], "wall_seconds": 0.5,
+            "spans": [
+                {"stage": "parse", "seconds": 0.1},
+                {"stage": "execute", "seconds": 0.4},
+            ],
+        },
+        {
+            "event": "received", "trace_id": "b" * 16, "seq": 3, "ts": 3.0,
+            "kind": "component", "client": "team-b", "bytes_in": 50,
+        },
+        {
+            "event": "completed", "trace_id": "b" * 16, "seq": 4, "ts": 4.0,
+            "solved": 7, "cache_hits": 3, "bytes_out": 120, "wall_seconds": 0.2,
+        },
+        {
+            "event": "received", "trace_id": "c" * 16, "seq": 5, "ts": 5.0,
+            "kind": "decompose",
+        },
+        {
+            "event": "failed", "trace_id": "c" * 16, "seq": 6, "ts": 6.0,
+            "status": 400, "wall_seconds": 0.01,
+        },
+    ]
+
+
+class TestFold:
+    def test_per_client_rollups(self):
+        rollup = fold_usage(_events())
+        assert rollup["meta"]["clients"] == 3
+        assert rollup["meta"]["events"] == 6
+        assert (rollup["meta"]["first_seq"], rollup["meta"]["last_seq"]) == (1, 6)
+        by_client = {row["client"]: row for row in rollup["clients"]}
+
+        team_a = by_client["team-a"]
+        assert team_a["requests"] == {"decompose": 1}
+        assert team_a["layouts_total"] == 2
+        assert team_a["layouts"] == {"top": 2}
+        assert (team_a["conflicts"], team_a["stitches"]) == (1, 3)
+        assert (team_a["bytes_in"], team_a["bytes_out"]) == (100, 400)
+        assert team_a["stage_seconds"] == {"execute": 0.4, "parse": 0.1}
+
+        team_b = by_client["team-b"]
+        assert team_b["components_solved"] == 7 and team_b["cache_hits"] == 3
+
+        anonymous = by_client["anonymous"]
+        assert anonymous["failed"] == 1 and anonymous["completed"] == 0
+
+    def test_clients_sorted_deterministically(self):
+        rollup = fold_usage(_events())
+        clients = [row["client"] for row in rollup["clients"]]
+        assert clients == sorted(clients)
+
+    def test_malformed_events_skipped_not_fatal(self):
+        events = _events() + [
+            "not a dict",
+            {"event": 42, "trace_id": "x" * 16},
+            {"event": "received"},  # no trace id
+            {"event": "mystery_future_event", "trace_id": "d" * 16, "seq": 7},
+        ]
+        rollup = fold_usage(events)
+        assert rollup["meta"]["clients"] == 3  # unchanged by the junk
+
+    def test_terminal_without_received_meters_as_anonymous(self):
+        rollup = fold_usage(
+            [{"event": "completed", "trace_id": "z" * 16, "seq": 1, "solved": 1}]
+        )
+        (row,) = rollup["clients"]
+        assert row["client"] == "anonymous" and row["components_solved"] == 1
+
+
+class TestCheckpoint:
+    def test_render_is_byte_identical_across_runs(self):
+        events = _events()
+        first = render_checkpoint(fold_usage(events))
+        second = render_checkpoint(fold_usage(list(events)))
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_round_trip_through_text(self):
+        rollup = fold_usage(_events())
+        text = render_checkpoint(rollup)
+        parsed = read_checkpoint(text)
+        assert parsed["meta"]["version"] == CHECKPOINT_VERSION
+        assert parsed["clients"] == rollup["clients"]
+
+    def test_wrong_version_rejected(self):
+        text = render_checkpoint(fold_usage(_events()))
+        bumped = text.replace('"version":1', '"version":99', 1)
+        with pytest.raises(ValueError, match="version"):
+            read_checkpoint(bumped)
+
+    def test_non_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            read_checkpoint('{"hello": "world"}\n')
+        with pytest.raises(ValueError):
+            read_checkpoint("")
+
+    def test_table_renders_every_client(self):
+        table = format_usage_table(fold_usage(_events()))
+        for client in ("team-a", "team-b", "anonymous"):
+            assert client in table
+
+
+class TestClientIdentity:
+    def test_sanitizer(self):
+        assert client_identity("team-a") == "team-a"
+        assert client_identity("CI.build_42") == "CI.build_42"
+        assert client_identity(None) == "anonymous"
+        assert client_identity("") == "anonymous"
+        assert client_identity("bad id!") == "anonymous"
+        assert client_identity("émile") == "anonymous"  # ASCII only
+        # Over-long ids truncate to the 64-char cap rather than vanishing.
+        assert client_identity("x" * 65) == "x" * 64
+
+
+@pytest.mark.service
+class TestJournalReconciliation:
+    def test_fold_reconciles_with_stats_and_cli_is_byte_identical(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: metering a journaled server reconciles with its own
+        /stats counters, and running the usage CLI twice over the same
+        journal produces byte-identical checkpoints."""
+        from repro.cli import main
+
+        journal = tmp_path / "journal"
+        config = ServerConfig(
+            port=0, workers=1, force_inline_pool=True, journal_dir=str(journal)
+        )
+        layout = wire_row_layout(num_wires=4, wire_length=600)
+        with ServerThread(config) as (host, port):
+            client = ServiceClient(host, port, client_id="team-a")
+            client.wait_until_healthy()
+            client.decompose(layout, name="w1", algorithm="linear")
+            client.decompose(layout, name="w2", algorithm="linear")
+            anon = ServiceClient(host, port)
+            anon.decompose(layout, name="w3", algorithm="linear")
+            served = client.stats()["server"]["served"]
+            client.close()
+            anon.close()
+
+        rollup = fold_usage(read_journal(str(journal)))
+        by_client = {row["client"]: row for row in rollup["clients"]}
+        assert set(by_client) == {"team-a", "anonymous"}
+        assert by_client["team-a"]["requests"] == {"decompose": 2}
+        assert by_client["team-a"]["layouts"] == {"w1": 1, "w2": 1}
+        # Reconciliation: every layout the server counted as served is
+        # attributed to exactly one client in the fold.
+        assert sum(row["layouts_total"] for row in rollup["clients"]) == served
+        assert all(row["bytes_in"] > 0 for row in rollup["clients"])
+        assert all(row["bytes_out"] > 0 for row in rollup["clients"])
+        assert by_client["team-a"]["stage_seconds"]  # spans landed
+
+        first = tmp_path / "usage-1.jsonl"
+        second = tmp_path / "usage-2.jsonl"
+        for target in (first, second):
+            assert (
+                main(
+                    ["usage", "--journal", str(journal), "--checkpoint", str(target)]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        assert read_checkpoint(first.read_text())["clients"] == rollup["clients"]
