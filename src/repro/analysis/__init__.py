@@ -1,4 +1,12 @@
-"""Post-decomposition analysis: balance metrics, conflict reports, SVG output."""
+"""Analysis tools: decomposition reports, SVG output, and static analysis.
+
+Two halves live here.  The original post-decomposition analysis (balance
+metrics, conflict reports, SVG rendering) operates on solve results; the
+static-analysis linter (``python -m repro.analysis``, ``repro-decompose
+lint`` — see :mod:`repro.analysis.engine` and :mod:`repro.analysis.linter`)
+operates on this repository's own source, enforcing the determinism,
+lock-discipline, schema-coupling and metrics-exposition invariants.
+"""
 
 from repro.analysis.metrics import (
     ConflictReport,

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — the static-analysis linter."""
+
+from repro.analysis.linter import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Committed lint baseline: accepted findings CI may not grow past.
+
+The baseline is a JSON file at the repo root (``lint_baseline.json``) whose
+entries name findings that were triaged and deliberately accepted, each
+with a one-line justification.  Matching is by ``(rule, path, message)`` —
+never by line number — so unrelated edits that move code do not invalidate
+entries, while any change to the finding's substance (a different message)
+surfaces it again.
+
+``match`` may be the full message or a distinctive prefix; prefixes keep
+entries stable when a message embeds counts that legitimately drift.
+Unused entries are reported so the baseline ratchets downward: once a
+finding is fixed, its entry must be deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+class Baseline:
+    def __init__(self, entries: Sequence[Dict[str, str]]) -> None:
+        self.entries = list(entries)
+        self._used = [False] * len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls([])
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version "
+                f"{data.get('version') if isinstance(data, dict) else data!r}"
+            )
+        entries = data.get("entries")
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path} has no entries list")
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise BaselineError(f"baseline entry {index} is not an object")
+            for field in ("rule", "path", "match", "justification"):
+                if not isinstance(entry.get(field), str) or not entry[field]:
+                    raise BaselineError(
+                        f"baseline entry {index} lacks a non-empty "
+                        f"{field!r} field"
+                    )
+        return cls(entries)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and marks the entry used) when an entry covers the finding."""
+        for index, entry in enumerate(self.entries):
+            if entry["rule"] != finding.rule or entry["path"] != finding.path:
+                continue
+            if finding.message.startswith(entry["match"]):
+                self._used[index] = True
+                return True
+        return False
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split into (unbaselined, suppressed), preserving order."""
+        fresh: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if self.suppresses(finding) else fresh).append(finding)
+        return fresh, suppressed
+
+    def unused_entries(self) -> List[Dict[str, str]]:
+        """Entries that matched nothing — stale once the finding is fixed."""
+        return [
+            entry
+            for entry, used in zip(self.entries, self._used)
+            if not used
+        ]
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialise findings as a fresh baseline skeleton (for --update-baseline).
+
+    Every generated entry carries a placeholder justification that the
+    committer must replace — the linter warns while placeholders remain, so
+    a thoughtless regenerate cannot silently bless new findings.
+    """
+    seen = set()
+    entries = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "match": finding.message,
+                "justification": "TODO: justify or fix",
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["match"]))
+    return (
+        json.dumps(
+            {"version": BASELINE_VERSION, "entries": entries},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def placeholder_entries(baseline: Baseline) -> List[Dict[str, str]]:
+    return [
+        entry
+        for entry in baseline.entries
+        if entry["justification"].startswith("TODO")
+    ]

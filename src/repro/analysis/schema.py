@@ -1,0 +1,344 @@
+"""Schema-coupling rules: version constants must move with their functions.
+
+PR 6 changed solver semantics and had to remember to bump three coupled
+constants by hand — ``runtime/hashing.py:_SCHEMA_VERSION``,
+``runtime/sqlite_cache.py:SCHEMA_VERSION`` and
+``runtime/wire_binary.py:FRAME_VERSION`` — or stale cached colorings would
+have replayed against the fixed solvers.  This module makes that bump
+policy mechanical: a committed manifest (``schema_manifest.json`` next to
+this file) pins, for every version constant, an **AST fingerprint** of each
+function that feeds the versioned payload.  Lint then fails when:
+
+* **SCHEMA001** — a fingerprinted function changed while its constant still
+  holds the manifest value: either bump the constant (semantics changed) or
+  regenerate the manifest (`python -m repro.analysis --update-manifest`)
+  after deciding the change is purely cosmetic;
+* **SCHEMA002** — the constant no longer matches the manifest (the bump
+  happened): regenerate the manifest to re-pin the new state;
+* **SCHEMA003** — the manifest, a referenced file, constant or function is
+  missing/unreadable (the guard itself rotted).
+
+Fingerprints are computed from a normalised AST serialisation: docstrings
+are stripped, location attributes are never included, and
+version-dependent fields (``type_comment``, ``type_params``) are skipped —
+so reformatting or running a different CPython minor version does not
+change a fingerprint, while any executable change does.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, Project, Rule
+
+#: The committed manifest shipped inside the package.
+DEFAULT_MANIFEST_PATH = Path(__file__).with_name("schema_manifest.json")
+
+MANIFEST_VERSION = 1
+
+#: AST fields excluded from fingerprints: positions are irrelevant and these
+#: two vary across CPython minor versions.
+_SKIPPED_FIELDS = ("type_comment", "type_params")
+
+
+def _strip_docstring(node: ast.AST) -> None:
+    body = getattr(node, "body", None)
+    if (
+        isinstance(body, list)
+        and body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body.pop(0)
+
+
+def _ast_repr(node: object) -> str:
+    """Version-stable deterministic serialisation of an AST subtree."""
+    if isinstance(node, ast.AST):
+        parts: List[str] = [type(node).__name__]
+        for name, value in ast.iter_fields(node):
+            if name in _SKIPPED_FIELDS:
+                continue
+            if value is None or value == []:
+                continue
+            parts.append(f"{name}={_ast_repr(value)}")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(node, list):
+        return "[" + ",".join(_ast_repr(item) for item in node) + "]"
+    return repr(node)
+
+
+def find_node(tree: ast.AST, qualname: str) -> Optional[ast.AST]:
+    """Locate a function/method by ``name`` or ``Class.method`` qualname."""
+    parts = qualname.split(".")
+    scope: ast.AST = tree
+    for index, part in enumerate(parts):
+        found = None
+        for child in getattr(scope, "body", []):
+            if (
+                isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and child.name == part
+            ):
+                found = child
+                break
+        if found is None:
+            return None
+        scope = found
+    return scope
+
+
+def function_fingerprint(tree: ast.AST, qualname: str) -> Optional[str]:
+    """Hex fingerprint of one function's normalised AST; None if absent."""
+    import hashlib
+
+    node = find_node(tree, qualname)
+    if node is None:
+        return None
+    import copy
+
+    clone = copy.deepcopy(node)
+    for sub in ast.walk(clone):
+        _strip_docstring(sub)
+    return hashlib.sha256(_ast_repr(clone).encode("utf-8")).hexdigest()
+
+
+def constant_value(tree: ast.AST, name: str) -> Optional[object]:
+    """Value of a module-level ``NAME = <constant>`` assignment."""
+    for stmt in getattr(tree, "body", []):
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if isinstance(value, ast.Constant):
+                    return value.value
+                return None
+    return None
+
+
+class ManifestError(ValueError):
+    """The manifest file is missing or malformed."""
+
+
+def load_manifest(path: Path) -> Dict:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ManifestError(f"cannot read schema manifest {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"schema manifest {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != MANIFEST_VERSION:
+        raise ManifestError(
+            f"schema manifest {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else data!r} "
+            f"(this build speaks {MANIFEST_VERSION})"
+        )
+    if not isinstance(data.get("entries"), list):
+        raise ManifestError(f"schema manifest {path} has no entries list")
+    return data
+
+
+def render_manifest(manifest: Dict) -> str:
+    """Canonical serialisation (committed file must be byte-stable)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+class _TreeCache:
+    """Parse each referenced file at most once during a manifest pass."""
+
+    def __init__(
+        self, root: Path, overrides: Optional[Dict[str, str]] = None
+    ) -> None:
+        self.root = root
+        self.overrides = overrides or {}
+        self._trees: Dict[str, Optional[ast.AST]] = {}
+        self.errors: Dict[str, str] = {}
+
+    def tree(self, relpath: str) -> Optional[ast.AST]:
+        if relpath in self._trees:
+            return self._trees[relpath]
+        source = self.overrides.get(relpath)
+        try:
+            if source is None:
+                source = (self.root / relpath).read_text(encoding="utf-8")
+            parsed: Optional[ast.AST] = ast.parse(source, filename=relpath)
+        except (OSError, SyntaxError, ValueError) as exc:
+            self.errors[relpath] = str(exc)
+            parsed = None
+        self._trees[relpath] = parsed
+        return parsed
+
+
+def check_manifest(
+    root: Path,
+    manifest: Dict,
+    source_overrides: Optional[Dict[str, str]] = None,
+) -> List[Finding]:
+    """Compare the manifest's pinned state against the tree at ``root``.
+
+    ``source_overrides`` substitutes in-memory source for named relpaths —
+    the test hook proving that mutating a fingerprinted function without a
+    version bump fails lint.
+    """
+    findings: List[Finding] = []
+    cache = _TreeCache(root, source_overrides)
+
+    def err(rule: str, path: str, message: str) -> None:
+        findings.append(Finding(rule, "error", path, 1, message))
+
+    for entry in manifest["entries"]:
+        constant = entry.get("constant", {})
+        const_path = constant.get("path", "<manifest>")
+        const_name = constant.get("name", "?")
+        pinned_value = constant.get("value")
+        label = f"{const_path}:{const_name}"
+
+        tree = cache.tree(const_path)
+        if tree is None:
+            err(
+                "SCHEMA003",
+                const_path,
+                f"schema manifest references {label} but the file cannot be "
+                f"read/parsed: {cache.errors.get(const_path, 'missing')}",
+            )
+            continue
+        current_value = constant_value(tree, const_name)
+        if current_value is None:
+            err(
+                "SCHEMA003",
+                const_path,
+                f"schema manifest pins {label} but no module-level constant "
+                f"assignment of that name was found",
+            )
+            continue
+
+        drifted: List[str] = []
+        for func in entry.get("functions", []):
+            func_path = func.get("path", "<manifest>")
+            qualname = func.get("qualname", "?")
+            func_tree = cache.tree(func_path)
+            if func_tree is None:
+                err(
+                    "SCHEMA003",
+                    func_path,
+                    f"schema manifest fingerprints {func_path}::{qualname} "
+                    f"(feeding {label}) but the file cannot be read/parsed: "
+                    f"{cache.errors.get(func_path, 'missing')}",
+                )
+                continue
+            current = function_fingerprint(func_tree, qualname)
+            if current is None:
+                err(
+                    "SCHEMA003",
+                    func_path,
+                    f"schema manifest fingerprints {func_path}::{qualname} "
+                    f"(feeding {label}) but no such function exists",
+                )
+                continue
+            if current != func.get("fingerprint"):
+                drifted.append(f"{func_path}::{qualname}")
+
+        if current_value != pinned_value:
+            err(
+                "SCHEMA002",
+                const_path,
+                f"{label} is now {current_value!r} but the schema manifest "
+                f"pins {pinned_value!r}: the bump happened — regenerate the "
+                f"manifest (python -m repro.analysis --update-manifest) to "
+                f"re-pin the new state",
+            )
+        elif drifted:
+            err(
+                "SCHEMA001",
+                const_path,
+                f"{', '.join(sorted(drifted))} changed but {label} is still "
+                f"{pinned_value!r}: bump the version if solve/wire/cache "
+                f"semantics changed, or regenerate the manifest "
+                f"(python -m repro.analysis --update-manifest) if the edit "
+                f"is provably cosmetic",
+            )
+    return findings
+
+
+def regenerate_manifest(root: Path, manifest: Dict) -> Tuple[Dict, List[str]]:
+    """Recompute every pinned value/fingerprint; returns (manifest, problems).
+
+    Keeps the entry structure (which constants exist, which functions feed
+    them) — only values and fingerprints are refreshed.  Problems name
+    entries that could not be resolved; the caller should treat any problem
+    as fatal rather than committing a partially-regenerated manifest.
+    """
+    cache = _TreeCache(root)
+    problems: List[str] = []
+    new_entries = []
+    for entry in manifest["entries"]:
+        new_entry = json.loads(json.dumps(entry))  # deep copy, JSON-clean
+        constant = new_entry.get("constant", {})
+        tree = cache.tree(constant.get("path", ""))
+        value = constant_value(tree, constant.get("name", "")) if tree else None
+        if value is None:
+            problems.append(
+                f"cannot resolve constant {constant.get('path')}:"
+                f"{constant.get('name')}"
+            )
+        else:
+            constant["value"] = value
+        for func in new_entry.get("functions", []):
+            func_tree = cache.tree(func.get("path", ""))
+            fingerprint = (
+                function_fingerprint(func_tree, func.get("qualname", ""))
+                if func_tree
+                else None
+            )
+            if fingerprint is None:
+                problems.append(
+                    f"cannot fingerprint {func.get('path')}::"
+                    f"{func.get('qualname')}"
+                )
+            else:
+                func["fingerprint"] = fingerprint
+        new_entries.append(new_entry)
+    return {"version": MANIFEST_VERSION, "entries": new_entries}, problems
+
+
+class SchemaManifestRule(Rule):
+    rule_id = "SCHEMA001"  # representative; emits SCHEMA001/002/003
+    description = (
+        "fingerprinted schema-feeding functions must not change without the "
+        "matching version-constant bump"
+    )
+
+    def __init__(
+        self,
+        manifest_path: Optional[Path] = None,
+        source_overrides: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__()
+        self.manifest_path = manifest_path or DEFAULT_MANIFEST_PATH
+        self.source_overrides = source_overrides
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        try:
+            manifest = load_manifest(self.manifest_path)
+        except ManifestError as exc:
+            return [
+                Finding(
+                    "SCHEMA003",
+                    "error",
+                    self.manifest_path.name,
+                    1,
+                    str(exc),
+                )
+            ]
+        return check_manifest(project.root, manifest, self.source_overrides)

@@ -82,7 +82,7 @@ def greedy_color_merged(
     adjacency: Dict[int, List[Tuple[int, int, int]]] = {node: [] for node in range(n)}
     conflict_degree = [0] * n
     keys = set(conflict) | set(stitch)
-    for a, b in keys:
+    for a, b in sorted(keys):
         cw = conflict.get((a, b), 0)
         sw = stitch.get((a, b), 0)
         adjacency[a].append((b, cw, sw))

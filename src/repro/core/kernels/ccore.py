@@ -10,8 +10,10 @@ builds (``REPRO_KERNELS_BUILD=0``) or a failed build all degrade to ``None``
 The flags matter for bit-exactness: ``-ffp-contract=off`` forbids fused
 multiply-adds, so every double operation the C loops perform rounds exactly
 like the corresponding CPython operation; ``-O2`` does not reassociate
-floating-point math.  The shared object is cached under a hash of the source
-(rebuilt automatically whenever the source changes) and the build is
+floating-point math.  ``REPRO_KERNELS_CFLAGS`` appends extra flags — CI uses
+it to build under ASan/UBSan.  The shared object is cached under a hash of
+the source plus any extra flags (rebuilt automatically whenever either
+changes) and the build is
 write-temp-then-rename, so concurrent processes never load a half-written
 library.
 """
@@ -21,6 +23,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import shutil
 import subprocess
 import tempfile
@@ -36,6 +39,19 @@ CACHE_DIR_ENV = "REPRO_KERNELS_CACHE"
 
 _SOURCE = Path(__file__).with_name("_solvecore.c")
 _CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+
+#: Extra compiler flags appended after the defaults (whitespace-split via
+#: shlex).  CI's sanitizer job sets this to ``-fsanitize=address,undefined
+#: -fno-sanitize-recover=all -g``; the flags participate in the build-cache
+#: digest so a sanitized .so never shadows (or is shadowed by) a normal one.
+CFLAGS_ENV = "REPRO_KERNELS_CFLAGS"
+
+
+def _extra_cflags() -> list:
+    configured = os.environ.get(CFLAGS_ENV, "").strip()
+    if not configured:
+        return []
+    return shlex.split(configured)
 
 _lock = threading.Lock()
 _core: Optional["CompiledCore"] = None
@@ -321,7 +337,11 @@ def _cache_dir() -> Path:
 
 
 def _library_path() -> Path:
-    digest = hashlib.sha256(_SOURCE.read_bytes()).hexdigest()[:16]
+    hasher = hashlib.sha256(_SOURCE.read_bytes())
+    for flag in _extra_cflags():
+        hasher.update(b"\x00")
+        hasher.update(flag.encode("utf-8"))
+    digest = hasher.hexdigest()[:16]
     return _cache_dir() / f"_solvecore-{digest}.so"
 
 
@@ -340,7 +360,7 @@ def _build(target: Path) -> bool:
     staging = target.with_name(f"{target.name}.build-{os.getpid()}")
     try:
         subprocess.run(
-            [compiler, *_CFLAGS, str(_SOURCE), "-o", str(staging)],
+            [compiler, *_CFLAGS, *_extra_cflags(), str(_SOURCE), "-o", str(staging)],
             check=True,
             capture_output=True,
             timeout=120,

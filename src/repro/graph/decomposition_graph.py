@@ -287,7 +287,7 @@ class DecompositionGraph:
         if missing:
             raise GraphError(f"subgraph on unknown vertices {sorted(missing)[:5]}")
         sub = DecompositionGraph()
-        for v in keep_set:
+        for v in sorted(keep_set):
             sub.add_vertex(v, self._vertices[v])
         for u, v in self._conflict_edges:
             if u in keep_set and v in keep_set:

@@ -126,6 +126,22 @@ class ServiceClient:
                 self._pools.append(pool)
         return pool
 
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Safety net for clients dropped without close(): shut the pooled
+        # keep-alive sockets down deterministically instead of leaving them
+        # to socket.__del__ (which raises ResourceWarning).  Interpreter
+        # shutdown can leave attributes half-torn-down, hence the guard.
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def close(self) -> None:
         """Close every pooled connection, across all threads.
 

@@ -1,0 +1,153 @@
+"""Engine-level tests: file collection, parsing, scoping, baseline algebra."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError, render_baseline
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    collect_files,
+    dotted_name,
+    parse_contexts,
+    run_rules,
+)
+
+
+class CountingRule(Rule):
+    rule_id = "TEST001"
+
+    def __init__(self, scopes=None):
+        super().__init__(scopes)
+        self.seen = []
+
+    def check_file(self, ctx):
+        self.seen.append(ctx.relpath)
+        return [self.finding(ctx, 1, "saw a file")]
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_collect_files_sorted_and_skips_pycache(tmp_path):
+    _write(tmp_path, "b.py", "")
+    _write(tmp_path, "a.py", "")
+    _write(tmp_path, "__pycache__/c.py", "")
+    files = collect_files([tmp_path])
+    assert [f.name for f in files] == ["a.py", "b.py"]
+
+
+def test_collect_files_dedupes_overlapping_targets(tmp_path):
+    path = _write(tmp_path, "pkg/mod.py", "")
+    files = collect_files([tmp_path, path])
+    assert files.count(path) == 1
+
+
+def test_parse_error_becomes_engine_finding(tmp_path):
+    _write(tmp_path, "bad.py", "def broken(:\n")
+    contexts, findings = parse_contexts(tmp_path, collect_files([tmp_path]))
+    assert contexts == []
+    assert len(findings) == 1
+    assert findings[0].rule == "ENGINE001"
+    assert findings[0].path == "bad.py"
+
+
+def test_scoping_limits_check_file_but_not_collect(tmp_path):
+    _write(tmp_path, "core/x.py", "")
+    _write(tmp_path, "docs/y.py", "")
+    rule = CountingRule(scopes=("core/",))
+    findings, scanned = run_rules(tmp_path, [tmp_path], [rule])
+    assert scanned == 2
+    assert rule.seen == ["core/x.py"]
+    assert [f.path for f in findings] == ["core/x.py"]
+
+
+def test_findings_sorted_deterministically(tmp_path):
+    _write(tmp_path, "m.py", "")
+    _write(tmp_path, "a.py", "")
+    findings, _ = run_rules(tmp_path, [tmp_path], [CountingRule()])
+    assert [f.path for f in findings] == ["a.py", "m.py"]
+
+
+def test_dotted_name_chains():
+    import ast
+
+    expr = ast.parse("a.b.c()").body[0].value
+    assert dotted_name(expr.func) == "a.b.c"
+    subscripted = ast.parse("a[0].b()").body[0].value
+    assert dotted_name(subscripted.func) is None
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def _finding(rule="TEST001", path="p.py", message="msg"):
+    return Finding(rule, "error", path, 3, message)
+
+
+def test_baseline_prefix_match_and_partition():
+    baseline = Baseline(
+        [
+            {
+                "rule": "TEST001",
+                "path": "p.py",
+                "match": "accepted",
+                "justification": "known",
+            }
+        ]
+    )
+    fresh, suppressed = baseline.partition(
+        [_finding(message="accepted because reasons"), _finding(message="new")]
+    )
+    assert [f.message for f in suppressed] == ["accepted because reasons"]
+    assert [f.message for f in fresh] == ["new"]
+    assert baseline.unused_entries() == []
+
+
+def test_baseline_unused_entries_reported():
+    baseline = Baseline(
+        [
+            {
+                "rule": "TEST001",
+                "path": "gone.py",
+                "match": "fixed long ago",
+                "justification": "stale",
+            }
+        ]
+    )
+    fresh, suppressed = baseline.partition([_finding()])
+    assert len(fresh) == 1 and not suppressed
+    assert len(baseline.unused_entries()) == 1
+
+
+def test_baseline_load_rejects_malformed(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+    path.write_text(
+        json.dumps({"version": 1, "entries": [{"rule": "X"}]})
+    )
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_baseline_load_missing_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert baseline.entries == []
+
+
+def test_render_baseline_dedupes_and_carries_todo():
+    text = render_baseline([_finding(), _finding(), _finding(message="other")])
+    data = json.loads(text)
+    assert len(data["entries"]) == 2
+    assert all(
+        e["justification"].startswith("TODO") for e in data["entries"]
+    )

@@ -1,0 +1,28 @@
+"""REPRO_KERNELS_CFLAGS: extra flags reach the build and the cache digest."""
+
+from __future__ import annotations
+
+from repro.core.kernels import ccore
+
+
+class TestExtraCflags:
+    def test_unset_means_no_extra_flags(self, monkeypatch):
+        monkeypatch.delenv(ccore.CFLAGS_ENV, raising=False)
+        assert ccore._extra_cflags() == []
+
+    def test_shlex_split(self, monkeypatch):
+        monkeypatch.setenv(
+            ccore.CFLAGS_ENV, "-fsanitize=address,undefined -g"
+        )
+        assert ccore._extra_cflags() == ["-fsanitize=address,undefined", "-g"]
+
+    def test_flags_change_cache_path(self, monkeypatch):
+        """A sanitized build must never collide with a normal cached .so:
+        the digest covers the extra flags, not just the C source."""
+        monkeypatch.delenv(ccore.CFLAGS_ENV, raising=False)
+        plain = ccore._library_path()
+        monkeypatch.setenv(ccore.CFLAGS_ENV, "-fsanitize=address")
+        sanitized = ccore._library_path()
+        assert plain != sanitized
+        # Same flags, same path: the cache still reuses builds.
+        assert sanitized == ccore._library_path()

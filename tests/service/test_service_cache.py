@@ -65,8 +65,7 @@ class TestRestartReusesCache:
         for round_index in range(2):
             with ServerThread(
                 ServerConfig(port=0, workers=2, cache_db=db)
-            ) as (host, port):
-                client = ServiceClient(host, port)
+            ) as (host, port), ServiceClient(host, port) as client:
                 client.wait_until_healthy()
                 served = client.decompose(layout, name="cells", algorithm="linear")
                 cache_stats = client.stats()["cache"]
